@@ -1,0 +1,232 @@
+// Package perfstacks benchmarks every experiment behind the paper's tables
+// and figures plus the hot substrate paths. One benchmark iteration runs the
+// full experiment at a reduced (bench) sizing; regenerating the paper-scale
+// artifacts is cmd/experiments' job.
+//
+//	go test -bench=. -benchmem
+package perfstacks
+
+import (
+	"testing"
+
+	"perfstacks/internal/bpred"
+	"perfstacks/internal/cache"
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/cpu"
+	"perfstacks/internal/experiments"
+	"perfstacks/internal/mem"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+// benchSpec keeps experiment iterations around a second.
+func benchSpec() experiments.RunSpec {
+	return experiments.RunSpec{Uops: 20_000, Warmup: 10_000}
+}
+
+// --- One benchmark per paper artifact ---
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.TableI(benchSpec())
+		if r.KNL.Rows[0].CPI <= 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure1(benchSpec())
+		if r.Stacks == nil {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure2(benchSpec())
+		if len(r.BDW.Components) == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure3(benchSpec())
+		if len(r.Cases) != 5 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure4(benchSpec())
+		if len(r.Suites) != 10 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure5(benchSpec())
+		if r.Real.MaxIPC == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkWrongPathSchemes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.WrongPath(benchSpec())
+		if len(r.Schemes) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkAccountingOverhead quantifies the §IV claim directly: simulator
+// throughput with accounting detached vs attached (compare the two
+// sub-benchmarks' ns/op; the gap is the accounting overhead).
+func BenchmarkAccountingOverhead(b *testing.B) {
+	prof, _ := workload.SPECProfile("mcf")
+	m := config.BDW()
+	run := func(withAcct bool) {
+		hier := cache.NewHierarchy(m.Hierarchy)
+		pred := bpred.NewTournament(m.Bpred)
+		c := cpu.New(m.Core, hier, pred, trace.NewLimit(workload.NewGenerator(prof), 50_000))
+		if withAcct {
+			c.Attach(core.NewMultiStageAccountant(core.Options{Width: m.Core.MinWidth()}))
+			c.Attach(core.NewFLOPSAccountant(m.Core.VFPUnits, m.Core.VectorLanes))
+		}
+		c.Run()
+	}
+	b.Run("without", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(false)
+		}
+	})
+	b.Run("with", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(true)
+		}
+	})
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkPipelineStep(b *testing.B) {
+	prof, _ := workload.SPECProfile("exchange2")
+	m := config.BDW()
+	b.ReportAllocs()
+	b.ResetTimer()
+	uopsDone := 0
+	for uopsDone < b.N {
+		b.StopTimer()
+		hier := cache.NewHierarchy(m.Hierarchy)
+		c := cpu.New(m.Core, hier, bpred.Perfect{},
+			trace.NewLimit(workload.NewGenerator(prof), uint64(b.N-uopsDone)))
+		b.StartTimer()
+		st := c.Run()
+		uopsDone += int(st.Committed)
+		if st.Committed == 0 {
+			break
+		}
+	}
+}
+
+func BenchmarkAccountantCycle(b *testing.B) {
+	a := core.NewMultiStageAccountant(core.Options{Width: 4})
+	s := core.CycleSample{DispatchN: 3, IssueN: 2, CommitN: 4,
+		FEEmpty: true, FECause: core.FEICache, FirstNonReadyClass: core.ProdDCache}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Cycle(&s)
+	}
+}
+
+func BenchmarkFLOPSAccountantCycle(b *testing.B) {
+	a := core.NewFLOPSAccountant(2, 16)
+	s := core.CycleSample{VFPIssued: 1, VFPActiveLanes: 16, VFPFlops: 32,
+		VFPInRS: true, OldestVFPClass: core.ProdDepend}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Cycle(&s)
+	}
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := cache.New(cache.Config{Name: "L1", SizeBytes: 32 * 1024, Ways: 8, HitLatency: 4, MSHRs: 8},
+		cache.MemLevel(mem.New(mem.Config{Latency: 100})))
+	c.Access(cache.Request{Line: 1, At: 0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(cache.Request{Line: 1, At: int64(i) + 1000})
+	}
+}
+
+func BenchmarkCacheMissChain(b *testing.B) {
+	hier := cache.NewHierarchy(config.BDW().Hierarchy)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hier.Data(uint64(i)*64+0x10000000, int64(i)*4, false)
+	}
+}
+
+func BenchmarkBranchPredictor(b *testing.B) {
+	p := bpred.NewTournament(bpred.DefaultConfig())
+	u := trace.Uop{Op: trace.OpBranch, PC: 0x1000, Target: 0x2000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Taken = i%3 == 0
+		u.PC = 0x1000 + uint64(i%512)*4
+		p.Lookup(&u)
+	}
+}
+
+func BenchmarkSPECGenerator(b *testing.B) {
+	prof, _ := workload.SPECProfile("mcf")
+	g := workload.NewGenerator(prof)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkGemmGenerator(b *testing.B) {
+	g := workload.NewGemm(workload.StyleKNL, workload.GemmTrain()[0], 16, 1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+// BenchmarkSimulatorThroughput reports end-to-end simulated uops per second
+// on a representative workload (the headline simulator speed number).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prof, _ := workload.SPECProfile("mcf")
+	m := config.BDW()
+	done := 0
+	for done < b.N {
+		opts := sim.Default()
+		n := uint64(b.N - done)
+		if n > 500_000 {
+			n = 500_000
+		}
+		res := sim.Run(m, trace.NewLimit(workload.NewGenerator(prof), n), opts)
+		done += int(res.Stats.Committed)
+		if res.Stats.Committed == 0 {
+			break
+		}
+	}
+}

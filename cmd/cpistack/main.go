@@ -1,0 +1,132 @@
+// Command cpistack simulates a workload on a machine configuration and
+// prints its multi-stage CPI stacks (dispatch, issue, commit), optionally
+// together with the idealization deltas (perfect I-cache / D-cache / branch
+// predictor, single-cycle ALU).
+//
+// Usage:
+//
+//	cpistack -machine BDW -workload mcf -uops 200000 [-idealize] [-scheme oracle]
+//	cpistack -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/cpu"
+	"perfstacks/internal/experiments"
+	"perfstacks/internal/export"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/textplot"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+func main() {
+	machine := flag.String("machine", "BDW", "machine configuration: BDW, KNL or SKX")
+	wl := flag.String("workload", "mcf", "workload profile name (see -list)")
+	uops := flag.Uint64("uops", 200_000, "uops to simulate")
+	idealize := flag.Bool("idealize", false, "also run the four idealizations and report CPI deltas")
+	scheme := flag.String("scheme", "oracle", "wrong-path accounting scheme: oracle, simple or speculative")
+	wrongpath := flag.String("wrongpath", "none", "wrong-path pipeline model: none or synth")
+	memdepth := flag.Bool("memdepth", false, "also print the per-level Dcache breakdown")
+	structural := flag.Bool("structural", false, "also print the issue-stage structural stall breakdown")
+	fetchStack := flag.Bool("fetch", false, "also measure and print the fetch-stage stack")
+	jsonOut := flag.Bool("json", false, "emit the stacks as JSON instead of text")
+	csvOut := flag.Bool("csv", false, "emit the stacks as CSV instead of text")
+	list := flag.Bool("list", false, "list workload profile names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.SPECNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	m, err := config.ByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	prof, ok := workload.SPECProfile(*wl)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q (use -list)", *wl))
+	}
+	opts := sim.Default()
+	switch *scheme {
+	case "oracle":
+		opts.Scheme = core.WrongPathOracle
+	case "simple":
+		opts.Scheme = core.WrongPathSimple
+	case "speculative":
+		opts.Scheme = core.WrongPathSpeculative
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	if *wrongpath == "synth" {
+		opts.WrongPath = cpu.WrongPathSynth
+	}
+	opts.MemDepth = *memdepth
+	opts.Structural = *structural
+	opts.Fetch = *fetchStack
+
+	mkTrace := func() trace.Reader {
+		return trace.NewLimit(workload.NewGenerator(prof), *uops)
+	}
+
+	res := sim.Run(m, mkTrace(), opts)
+	if *jsonOut {
+		if err := export.MultiStackToJSON(os.Stdout, res.Stacks, prof.Name, m.Name); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *csvOut {
+		if err := export.MultiStackToCSV(os.Stdout, res.Stacks, prof.Name, m.Name); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("%s on %s: %d uops, %d cycles, CPI %.3f (bpred MPKI %.2f)\n\n",
+		prof.Name, m.Name, res.Stats.Committed, res.Stats.Cycles, res.Stats.CPI(),
+		1000*float64(res.Bpred.Mispredictions)/float64(res.Stats.Committed))
+	fmt.Print(experiments.RenderMultiStack(res.Stacks))
+	if *memdepth {
+		fmt.Println()
+		fmt.Println(res.MemDepth.String())
+	}
+	if *structural {
+		fmt.Println()
+		fmt.Println(res.Structural.String())
+	}
+	if *fetchStack {
+		fmt.Println()
+		fmt.Println(res.Fetch.String())
+	}
+
+	if !*idealize {
+		return
+	}
+	fmt.Println()
+	tbl := textplot.NewTable("idealization", "CPI", "delta")
+	base := res.Stats.CPI()
+	ids := []config.Idealize{
+		{PerfectICache: true},
+		{PerfectDCache: true},
+		{PerfectBpred: true},
+		{SingleCycleALU: true},
+	}
+	for _, id := range ids {
+		r := sim.Run(m.Apply(id), mkTrace(), sim.Options{})
+		tbl.Rowf(id.String(), r.Stats.CPI(), base-r.Stats.CPI())
+	}
+	fmt.Print(tbl.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpistack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulator: Table I, Figures 1-5, the accounting-overhead claim of §IV and
+// the wrong-path accounting scheme study of §III-B.
+//
+// Usage:
+//
+//	experiments                 # run everything
+//	experiments -run tableI     # one experiment: tableI, figure1..figure5,
+//	                            # overhead, wrongpath
+//	experiments -uops 500000 -warmup 300000 -quick=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"perfstacks/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment: all, tableI, figure1, figure2, figure3, figure4, figure5, overhead, wrongpath, ablation")
+	uops := flag.Uint64("uops", 0, "measured uops per simulation (0 = default)")
+	warmup := flag.Uint64("warmup", 0, "warm-up uops per simulation (0 = default)")
+	quick := flag.Bool("quick", false, "use the reduced test sizing")
+	par := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	spec := experiments.DefaultSpec()
+	if *quick {
+		spec = experiments.QuickSpec()
+	}
+	if *uops > 0 {
+		spec.Uops = *uops
+	}
+	if *warmup > 0 {
+		spec.Warmup = *warmup
+	}
+	spec.Parallelism = *par
+
+	all := map[string]func() string{
+		"tableI":    func() string { return experiments.TableI(spec).Render() },
+		"figure1":   func() string { return experiments.Figure1(spec).Render() },
+		"figure2":   func() string { return experiments.Figure2(spec).Render() },
+		"figure3":   func() string { return experiments.Figure3(spec).Render() },
+		"figure4":   func() string { return experiments.Figure4(spec).Render() },
+		"figure5":   func() string { return experiments.Figure5(spec).Render() },
+		"overhead":  func() string { return experiments.Overhead(spec, 3).Render() },
+		"wrongpath": func() string { return experiments.WrongPath(spec).Render() },
+		"ablation":  func() string { return experiments.Ablation(spec).Render() },
+	}
+	order := []string{"tableI", "figure1", "figure2", "figure3", "figure4", "figure5", "overhead", "wrongpath", "ablation"}
+
+	names := order
+	if *run != "all" {
+		if _, ok := all[*run]; !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want one of %s)\n",
+				*run, strings.Join(order, ", "))
+			os.Exit(1)
+		}
+		names = []string{*run}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		out := all[name]()
+		fmt.Printf("===== %s (%.1fs) =====\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+}

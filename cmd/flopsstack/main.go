@@ -1,0 +1,144 @@
+// Command flopsstack simulates a DeepBench-like kernel on a machine
+// configuration and prints its FLOPS stack next to its issue-stage CPI stack
+// (normalized), the comparison at the heart of the paper's §V-B.
+//
+// Usage:
+//
+//	flopsstack -machine KNL -kernel sgemm -config train-2048x128x2048 [-uops 200000]
+//	flopsstack -machine SKX -kernel conv -phase fwd -config 54x54x64x8k64
+//	flopsstack -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/experiments"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/textplot"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+func main() {
+	machine := flag.String("machine", "KNL", "machine configuration: BDW, KNL or SKX")
+	kernel := flag.String("kernel", "sgemm", "kernel: sgemm or conv")
+	cfgName := flag.String("config", "train-2048x128x2048", "problem configuration name")
+	phase := flag.String("phase", "fwd", "conv phase: fwd, bwd_f or bwd_d")
+	uops := flag.Uint64("uops", 200_000, "uops to simulate")
+	warm := flag.Uint64("warmup", 50_000, "warm-up uops before measuring")
+	list := flag.Bool("list", false, "list kernel configuration names and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("# sgemm (train)")
+		for _, c := range workload.GemmTrain() {
+			fmt.Println(c.Name)
+		}
+		fmt.Println("# sgemm (inference)")
+		for _, c := range workload.GemmInference() {
+			fmt.Println(c.Name)
+		}
+		fmt.Println("# conv (training; phases fwd, bwd_f, bwd_d)")
+		for _, c := range workload.ConvTrain() {
+			fmt.Println(c.Name)
+		}
+		return
+	}
+
+	m, err := config.ByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	style := workload.StyleSKX
+	if m.Name == "KNL" {
+		style = workload.StyleKNL
+	}
+
+	var tr trace.Reader
+	switch *kernel {
+	case "sgemm":
+		cfg, ok := findGemm(*cfgName)
+		if !ok {
+			fatal(fmt.Errorf("unknown sgemm config %q (use -list)", *cfgName))
+		}
+		tr = workload.NewGemm(style, cfg, m.Core.VectorLanes, 1, 0)
+	case "conv":
+		cfg, ok := findConv(*cfgName)
+		if !ok {
+			fatal(fmt.Errorf("unknown conv config %q (use -list)", *cfgName))
+		}
+		ph, ok := parsePhase(*phase)
+		if !ok {
+			fatal(fmt.Errorf("unknown conv phase %q", *phase))
+		}
+		tr = workload.NewConv(style, cfg, ph, m.Core.VectorLanes, 1, 0)
+	default:
+		fatal(fmt.Errorf("unknown kernel %q", *kernel))
+	}
+
+	opts := sim.Options{CPI: true, FLOPS: true, WarmupUops: *warm}
+	res := sim.Run(m, trace.NewLimit(tr, *uops+*warm), opts)
+
+	issue := res.Stacks.Stack(core.StageIssue)
+	fmt.Printf("%s %s on %s (%s style): CPI %.3f, IPC %.2f\n\n",
+		*kernel, *cfgName, m.Name, style, issue.TotalCPI(), issue.IPC())
+	fmt.Println("issue-stage CPI stack (normalized) vs FLOPS stack (normalized):")
+	tbl := textplot.NewTable("CPI component", "frac", "|", "FLOPS component", "frac")
+	cpiComps := core.Components()
+	flopsComps := core.FLOPSComponents()
+	n := len(cpiComps)
+	if len(flopsComps) > n {
+		n = len(flopsComps)
+	}
+	for i := 0; i < n; i++ {
+		var c1, v1, c2, v2 string
+		if i < len(cpiComps) {
+			c1 = cpiComps[i].String()
+			v1 = fmt.Sprintf("%.3f", issue.Normalized(cpiComps[i]))
+		}
+		if i < len(flopsComps) {
+			c2 = flopsComps[i].String()
+			v2 = fmt.Sprintf("%.3f", res.FLOPS.Normalized(flopsComps[i]))
+		}
+		tbl.Row(c1, v1, "|", c2, v2)
+	}
+	fmt.Print(tbl.String())
+	fmt.Println()
+	fmt.Print(experiments.RenderFLOPSStack(&res.FLOPS, m.FreqGHz))
+}
+
+func findGemm(name string) (workload.GemmConfig, bool) {
+	for _, c := range append(workload.GemmTrain(), workload.GemmInference()...) {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return workload.GemmConfig{}, false
+}
+
+func findConv(name string) (workload.ConvConfig, bool) {
+	for _, c := range workload.ConvTrain() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return workload.ConvConfig{}, false
+}
+
+func parsePhase(s string) (workload.ConvPhase, bool) {
+	for _, p := range workload.ConvPhases() {
+		if p.String() == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flopsstack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command sweep runs every SPEC-like workload profile on one or more
+// machine configurations and emits the multi-stage CPI stacks as a single
+// CSV — the bulk-characterization workflow, ready for spreadsheets or
+// plotting scripts.
+//
+// Usage:
+//
+//	sweep -machines BDW,KNL -uops 300000 -warmup 200000 > stacks.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/export"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+func main() {
+	machines := flag.String("machines", "BDW,KNL", "comma-separated machine list")
+	uops := flag.Uint64("uops", 300_000, "measured uops per run")
+	warm := flag.Uint64("warmup", 200_000, "warm-up uops per run")
+	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations")
+	flag.Parse()
+
+	var ms []config.Machine
+	for _, name := range strings.Split(*machines, ",") {
+		m, err := config.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		ms = append(ms, m)
+	}
+
+	profs := workload.SPECProfiles()
+	type job struct {
+		m    config.Machine
+		prof workload.Profile
+	}
+	var jobs []job
+	for _, m := range ms {
+		for _, p := range profs {
+			jobs = append(jobs, job{m, p})
+		}
+	}
+
+	rows := make([]export.LabeledStacks, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxInt(1, *par))
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := jobs[i]
+			opts := sim.Default()
+			opts.WarmupUops = *warm
+			res := sim.Run(j.m, trace.NewLimit(workload.NewGenerator(j.prof), *warm+*uops), opts)
+			rows[i] = export.LabeledStacks{
+				Workload: j.prof.Name,
+				Machine:  j.m.Name,
+				Stacks:   res.Stacks,
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if err := export.StacksToCSV(os.Stdout, rows); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d runs (%d workloads x %d machines)\n",
+		len(jobs), len(profs), len(ms))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command tracegen materializes a synthetic workload into the binary trace
+// file format, inspects trace files, and replays them through the simulator.
+// The file format is the interchange point for driving the simulator with
+// externally captured instruction streams.
+//
+// Usage:
+//
+//	tracegen -workload mcf -uops 500000 -o mcf.trace    # generate
+//	tracegen -inspect mcf.trace                         # summarize
+//	tracegen -replay mcf.trace -machine BDW             # simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/experiments"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "mcf", "workload profile to materialize")
+	uops := flag.Uint64("uops", 500_000, "uops to write")
+	out := flag.String("o", "", "output trace file (generate mode)")
+	inspect := flag.String("inspect", "", "trace file to summarize")
+	replay := flag.String("replay", "", "trace file to simulate")
+	machine := flag.String("machine", "BDW", "machine for -replay")
+	warm := flag.Uint64("warmup", 0, "warm-up uops for -replay")
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		inspectFile(*inspect)
+	case *replay != "":
+		replayFile(*replay, *machine, *warm)
+	case *out != "":
+		generate(*wl, *uops, *out)
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: need one of -o, -inspect or -replay")
+		os.Exit(1)
+	}
+}
+
+func generate(wl string, uops uint64, out string) {
+	prof, ok := workload.SPECProfile(wl)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q", wl))
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := trace.Copy(w, trace.NewLimit(workload.NewGenerator(prof), uops), 0)
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d uops of %s to %s\n", n, prof.Name, out)
+}
+
+func inspectFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewFileReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	var counts [16]uint64
+	var flops, total uint64
+	for {
+		u, ok := r.Next()
+		if !ok {
+			break
+		}
+		counts[u.Op%16]++
+		flops += uint64(u.FLOPs())
+		total++
+	}
+	if err := r.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d uops, %d FLOPs\n", path, total, flops)
+	for op := trace.Op(0); op < 16; op++ {
+		if counts[op] == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %8d (%.1f%%)\n", op, counts[op], 100*float64(counts[op])/float64(total))
+	}
+}
+
+func replayFile(path, machine string, warm uint64) {
+	m, err := config.ByName(machine)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewFileReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	opts := sim.Default()
+	opts.WarmupUops = warm
+	res := sim.Run(m, r, opts)
+	if err := r.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %s: %d uops, CPI %.3f\n\n", path, m.Name, res.Stats.Committed, res.CPIOf())
+	fmt.Print(experiments.RenderMultiStack(res.Stacks))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

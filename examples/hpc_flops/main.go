@@ -1,0 +1,91 @@
+// hpc_flops: the HPC-analyst workflow of §V-B — measure a GEMM kernel's
+// FLOPS stack next to its CPI stack and see why "IPC looks fine" while
+// floating-point throughput is far from peak.
+//
+//	go run ./examples/hpc_flops [-machine KNL] [-config train-2048x128x2048]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/textplot"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+func main() {
+	machine := flag.String("machine", "KNL", "machine: BDW, KNL or SKX")
+	cfgName := flag.String("config", "train-2048x128x2048", "sgemm problem size")
+	uops := flag.Uint64("uops", 200_000, "measured uops")
+	flag.Parse()
+
+	m, err := config.ByName(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var cfg workload.GemmConfig
+	found := false
+	for _, c := range append(workload.GemmTrain(), workload.GemmInference()...) {
+		if c.Name == *cfgName {
+			cfg, found = c, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown sgemm config %q\n", *cfgName)
+		os.Exit(1)
+	}
+
+	// The kernel code style follows the machine, as MKL's dispatch does:
+	// FMA-with-memory-operand on KNL, broadcast + register FMAs on SKX/BDW.
+	style := workload.StyleSKX
+	if m.Name == "KNL" {
+		style = workload.StyleKNL
+	}
+	kernel := workload.NewGemm(style, cfg, m.Core.VectorLanes, 1, 0)
+
+	opts := sim.Options{CPI: true, FLOPS: true, WarmupUops: 50_000}
+	res := sim.Run(m, trace.NewLimit(kernel, 50_000+*uops), opts)
+
+	issue := res.Stacks.Stack(core.StageIssue)
+	peak := res.FLOPS.MaxOpsPerCycle() * m.FreqGHz
+	achieved := res.FLOPS.ToFLOPS(core.FBase, m.Freq()) / 1e9
+
+	fmt.Printf("sgemm %s on %s (%s code style)\n", cfg.Name, m.Name, style)
+	fmt.Printf("  IPC: %.2f of %d  — looks %s\n", issue.IPC(), issue.Width,
+		verdict(issue.IPC()/float64(issue.Width)))
+	fmt.Printf("  FLOPS: %.1f of %.1f GFLOPS/core (%.0f%%) — looks %s\n\n",
+		achieved, peak, 100*res.FLOPS.Normalized(core.FBase),
+		verdict(res.FLOPS.Normalized(core.FBase)))
+
+	fmt.Println("why the FLOPS are missing (Table III decomposition):")
+	tbl := textplot.NewTable("component", "share", "GFLOPS lost")
+	for c := core.FLOPSComponent(0); c < core.NumFLOPSComponents; c++ {
+		if c == core.FBase {
+			continue
+		}
+		f := res.FLOPS.Normalized(c)
+		if f < 0.005 {
+			continue
+		}
+		tbl.Rowf(c.String(), fmt.Sprintf("%.1f%%", 100*f), res.FLOPS.ToFLOPS(c, m.Freq())/1e9)
+	}
+	fmt.Print(tbl.String())
+}
+
+func verdict(frac float64) string {
+	switch {
+	case frac > 0.85:
+		return "healthy"
+	case frac > 0.5:
+		return "mediocre"
+	default:
+		return "poor"
+	}
+}

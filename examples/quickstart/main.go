@@ -1,0 +1,52 @@
+// Quickstart: simulate one workload on one machine and print its
+// multi-stage CPI stacks — the smallest end-to-end use of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/experiments"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+func main() {
+	// 1. Pick a machine configuration: a Broadwell-like 4-wide OoO core
+	//    with its uncore scaled as if all 18 cores of the socket were busy.
+	machine := config.BDW()
+
+	// 2. Pick a workload: the mcf-like pointer-chasing profile. Any
+	//    trace.Reader works; workload.NewGenerator streams a deterministic
+	//    synthetic program.
+	profile, _ := workload.SPECProfile("mcf")
+	tr := trace.NewLimit(workload.NewGenerator(profile), 300_000)
+
+	// 3. Run with multi-stage CPI stack accounting attached. WarmupUops
+	//    mirrors the paper's fast-forward: caches and predictors warm up
+	//    before measurement starts.
+	opts := sim.Default()
+	opts.WarmupUops = 100_000
+	res := sim.Run(machine, tr, opts)
+
+	// 4. Inspect the stacks. Each pipeline stage (dispatch, issue, commit)
+	//    has its own CPI stack; together they bound the gain of fixing a
+	//    bottleneck.
+	fmt.Printf("%s on %s: CPI %.3f (IPC %.2f)\n\n",
+		profile.Name, machine.Name, res.CPIOf(), 1/res.CPIOf())
+	fmt.Println(experiments.RenderMultiStack(res.Stacks))
+
+	// 5. Ask a question only multi-stage stacks answer: how much faster
+	//    could this run get with a perfect branch predictor?
+	lo, hi := res.Stacks.ComponentRange(core.CompBpred)
+	fmt.Printf("a perfect branch predictor is worth between %.3f and %.3f CPI\n", lo, hi)
+
+	// Verify by actually simulating one.
+	ideal := sim.Run(machine.Apply(config.Idealize{PerfectBpred: true}),
+		trace.NewLimit(workload.NewGenerator(profile), 300_000), opts)
+	fmt.Printf("measured gain with a perfect predictor: %.3f CPI\n", res.CPIOf()-ideal.CPIOf())
+}

@@ -1,0 +1,3 @@
+module perfstacks
+
+go 1.22

@@ -1,0 +1,231 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfstacks/internal/trace"
+)
+
+func TestPerfectNeverMispredicts(t *testing.T) {
+	p := Perfect{}
+	u := trace.Uop{Op: trace.OpBranch, PC: 0x100, Taken: true, Target: 0x200}
+	for i := 0; i < 100; i++ {
+		if out := p.Lookup(&u); out.Mispredicted {
+			t.Fatal("perfect predictor mispredicted")
+		}
+	}
+	p.Reset() // must not panic
+}
+
+func newT() *Tournament { return NewTournament(DefaultConfig()) }
+
+func TestTournamentLearnsBias(t *testing.T) {
+	p := newT()
+	u := trace.Uop{Op: trace.OpBranch, PC: 0x4000, Taken: true, Target: 0x5000}
+	for i := 0; i < 64; i++ {
+		p.Lookup(&u)
+	}
+	before := p.Stats.Mispredictions
+	for i := 0; i < 1000; i++ {
+		p.Lookup(&u)
+	}
+	if got := p.Stats.Mispredictions - before; got != 0 {
+		t.Fatalf("always-taken branch mispredicted %d times after warm-up", got)
+	}
+}
+
+func TestTournamentLearnsAlternatingViaGshare(t *testing.T) {
+	p := newT()
+	u := trace.Uop{Op: trace.OpBranch, PC: 0x4000, Target: 0x5000}
+	// Alternating pattern: history-based predictor should learn it.
+	for i := 0; i < 256; i++ {
+		u.Taken = i%2 == 0
+		p.Lookup(&u)
+	}
+	before := p.Stats.Mispredictions
+	for i := 0; i < 1000; i++ {
+		u.Taken = i%2 == 0
+		p.Lookup(&u)
+	}
+	miss := float64(p.Stats.Mispredictions-before) / 1000
+	if miss > 0.05 {
+		t.Fatalf("alternating branch missrate %.3f, want < 0.05", miss)
+	}
+}
+
+func TestTournamentRandomBranchMissesHalf(t *testing.T) {
+	p := newT()
+	u := trace.Uop{Op: trace.OpBranch, PC: 0x4000, Target: 0x5000}
+	rng := uint64(12345)
+	miss := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		u.Taken = rng&1 == 0
+		if p.Lookup(&u).Mispredicted {
+			miss++
+		}
+	}
+	rate := float64(miss) / n
+	if rate < 0.35 || rate > 0.65 {
+		t.Fatalf("random branch missrate %.3f, want ~0.5", rate)
+	}
+}
+
+func TestCallReturnPairsUseRAS(t *testing.T) {
+	p := newT()
+	// Nested calls and matching returns: after BTB warm-up, returns should
+	// predict perfectly via the RAS.
+	run := func() {
+		for d := 0; d < 8; d++ {
+			u := trace.Uop{Op: trace.OpCall, PC: 0x1000 + uint64(d)*64, Taken: true, Target: 0x9000 + uint64(d)*256}
+			p.Lookup(&u)
+		}
+		for d := 7; d >= 0; d-- {
+			u := trace.Uop{Op: trace.OpRet, PC: 0x9000 + uint64(d)*256 + 32, Taken: true,
+				Target: 0x1000 + uint64(d)*64 + 4}
+			p.Lookup(&u)
+		}
+	}
+	run() // warm
+	before := p.Stats.Mispredictions
+	for i := 0; i < 50; i++ {
+		run()
+	}
+	if got := p.Stats.Mispredictions - before; got != 0 {
+		t.Fatalf("call/return pairs mispredicted %d times after warm-up", got)
+	}
+}
+
+func TestTournamentReset(t *testing.T) {
+	p := newT()
+	u := trace.Uop{Op: trace.OpBranch, PC: 0x4000, Taken: true, Target: 0x5000}
+	for i := 0; i < 100; i++ {
+		p.Lookup(&u)
+	}
+	p.Reset()
+	if p.Stats.Branches != 0 || p.Stats.Mispredictions != 0 {
+		t.Fatal("Reset did not clear statistics")
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	s := Stats{Branches: 200, Mispredictions: 25}
+	if got := s.MispredictRate(); got != 0.125 {
+		t.Fatalf("MispredictRate = %v, want 0.125", got)
+	}
+	if (Stats{}).MispredictRate() != 0 {
+		t.Fatal("empty stats should have rate 0")
+	}
+}
+
+func TestBTBHitAfterUpdate(t *testing.T) {
+	b := NewBTB(256, 4)
+	if _, hit := b.Lookup(0x1234); hit {
+		t.Fatal("cold BTB should miss")
+	}
+	b.Update(0x1234, 0xbeef)
+	tgt, hit := b.Lookup(0x1234)
+	if !hit || tgt != 0xbeef {
+		t.Fatalf("BTB lookup = (%#x,%v), want (0xbeef,true)", tgt, hit)
+	}
+}
+
+func TestBTBTargetUpdate(t *testing.T) {
+	b := NewBTB(64, 2)
+	b.Update(0x40, 0x100)
+	b.Update(0x40, 0x200) // indirect branch changed target
+	tgt, hit := b.Lookup(0x40)
+	if !hit || tgt != 0x200 {
+		t.Fatalf("BTB should hold latest target, got (%#x,%v)", tgt, hit)
+	}
+}
+
+func TestBTBEvictsLRU(t *testing.T) {
+	b := NewBTB(8, 2) // 4 sets x 2 ways
+	// Three PCs mapping to the same set (stride = sets*4 bytes = 16).
+	p0, p1, p2 := uint64(0x10), uint64(0x10+16*4), uint64(0x10+32*4)
+	b.Update(p0, 1)
+	b.Update(p1, 2)
+	b.Lookup(p0) // refresh p0
+	b.Update(p2, 3)
+	if _, hit := b.Lookup(p1); hit {
+		t.Fatal("p1 should have been the LRU victim")
+	}
+	if _, hit := b.Lookup(p0); !hit {
+		t.Fatal("p0 was refreshed and should survive")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(8)
+	for i := uint64(1); i <= 5; i++ {
+		r.Push(i * 100)
+	}
+	for i := uint64(5); i >= 1; i-- {
+		v, ok := r.Pop()
+		if !ok || v != i*100 {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i*100)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("empty RAS should report underflow")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(4)
+	for i := uint64(1); i <= 6; i++ {
+		r.Push(i)
+	}
+	// Only the newest 4 survive: 6,5,4,3.
+	want := []uint64{6, 5, 4, 3}
+	for _, w := range want {
+		v, ok := r.Pop()
+		if !ok || v != w {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, w)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("wrapped RAS should be empty after draining")
+	}
+}
+
+func TestRASDepth(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(1)
+	r.Push(2)
+	if r.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2", r.Depth())
+	}
+	r.Reset()
+	if r.Depth() != 0 {
+		t.Fatal("Reset should empty the stack")
+	}
+}
+
+// Property: the predictor's statistics are internally consistent.
+func TestStatsConsistencyProperty(t *testing.T) {
+	f := func(seeds []uint64) bool {
+		p := newT()
+		rng := uint64(99)
+		for _, s := range seeds {
+			rng ^= s | 1
+			u := trace.Uop{
+				Op:     trace.OpBranch,
+				PC:     0x1000 + (rng % 4096),
+				Taken:  rng&2 == 0,
+				Target: 0x8000 + (rng % 512),
+			}
+			p.Lookup(&u)
+		}
+		return p.Stats.Mispredictions <= p.Stats.Branches &&
+			p.Stats.DirectionWrong <= p.Stats.Mispredictions+p.Stats.TargetWrong
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package bpred
+
+// BTB is a set-associative branch target buffer with LRU replacement.
+type BTB struct {
+	sets int
+	ways int
+	tag  []uint64 // sets*ways, 0 = invalid
+	tgt  []uint64
+	lru  []uint32
+	tick uint32
+}
+
+// NewBTB builds a BTB with the given total entry count and associativity.
+// entries must be a multiple of ways; sets are rounded down to a power of
+// two.
+func NewBTB(entries, ways int) *BTB {
+	if ways < 1 {
+		ways = 1
+	}
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets down to a power of two for cheap indexing.
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	n := sets * ways
+	return &BTB{
+		sets: sets,
+		ways: ways,
+		tag:  make([]uint64, n),
+		tgt:  make([]uint64, n),
+		lru:  make([]uint32, n),
+	}
+}
+
+// Reset invalidates all entries.
+func (b *BTB) Reset() {
+	for i := range b.tag {
+		b.tag[i] = 0
+		b.tgt[i] = 0
+		b.lru[i] = 0
+	}
+	b.tick = 0
+}
+
+func (b *BTB) setOf(pc uint64) int { return int((pc >> 2) & uint64(b.sets-1)) }
+
+// Lookup returns the predicted target for pc and whether the BTB hit.
+func (b *BTB) Lookup(pc uint64) (uint64, bool) {
+	base := b.setOf(pc) * b.ways
+	key := pc | 1 // ensure nonzero tag
+	for w := 0; w < b.ways; w++ {
+		if b.tag[base+w] == key {
+			b.tick++
+			b.lru[base+w] = b.tick
+			return b.tgt[base+w], true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for pc.
+func (b *BTB) Update(pc, target uint64) {
+	base := b.setOf(pc) * b.ways
+	key := pc | 1
+	victim := base
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.tag[i] == key {
+			victim = i
+			break
+		}
+		if b.tag[i] == 0 {
+			victim = i
+			break
+		}
+		if b.lru[i] < b.lru[victim] {
+			victim = i
+		}
+	}
+	b.tick++
+	b.tag[victim] = key
+	b.tgt[victim] = target
+	b.lru[victim] = b.tick
+}
+
+// RAS is a circular return address stack. Overflow wraps (overwriting the
+// oldest entry) and underflow reports a miss, matching hardware behavior.
+type RAS struct {
+	stack []uint64
+	top   int
+	depth int
+}
+
+// NewRAS builds a RAS with n entries.
+func NewRAS(n int) *RAS {
+	if n < 1 {
+		n = 1
+	}
+	return &RAS{stack: make([]uint64, n)}
+}
+
+// Reset empties the stack.
+func (r *RAS) Reset() { r.top, r.depth = 0, 0 }
+
+// Push records a return address.
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.top] = addr
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the most recent return address; ok is false on underflow.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.depth--
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	return r.stack[r.top], true
+}
+
+// Depth returns the number of live entries (useful for tests).
+func (r *RAS) Depth() int { return r.depth }

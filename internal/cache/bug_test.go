@@ -1,0 +1,34 @@
+package cache
+
+import (
+	"testing"
+
+	"perfstacks/internal/mem"
+)
+
+func TestL3RetainsLinesAcrossL2Evictions(t *testing.T) {
+	m := mem.New(mem.Config{Latency: 100})
+	l3 := New(Config{Name: "L3", SizeBytes: 1 << 20, Ways: 16, HitLatency: 30, MSHRs: 32}, MemLevel(m))
+	l2 := New(Config{Name: "L2", SizeBytes: 8 * 1024, Ways: 8, HitLatency: 10, MSHRs: 16}, l3)
+
+	// First touch: miss everywhere.
+	r := l2.Access(Request{Line: 42, At: 0})
+	if r.MissLevels != 2 {
+		t.Fatalf("first access MissLevels = %d, want 2", r.MissLevels)
+	}
+	// Evict line 42 from L2 by filling its set.
+	for i := uint64(1); i <= 16; i++ {
+		l2.Access(Request{Line: 42 + i*128, At: int64(1000 * i)})
+	}
+	if l2.Contains(42) {
+		t.Fatal("line 42 should have been evicted from L2")
+	}
+	if !l3.Contains(42) {
+		t.Fatal("line 42 should still be in L3")
+	}
+	// Re-access: should miss L2, hit L3.
+	r = l2.Access(Request{Line: 42, At: 100000})
+	if r.MissLevels != 1 {
+		t.Fatalf("re-access MissLevels = %d, want 1 (L3 hit)", r.MissLevels)
+	}
+}

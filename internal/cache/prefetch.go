@@ -1,0 +1,166 @@
+package cache
+
+// PrefetchConfig sizes the stream prefetcher attached to a cache level.
+type PrefetchConfig struct {
+	// Enabled turns the prefetcher on.
+	Enabled bool
+	// Streams is the number of concurrently tracked access streams.
+	Streams int
+	// Degree is how many lines are prefetched per trigger.
+	Degree int
+	// Distance is how far ahead of the demand stream prefetches run.
+	Distance int
+}
+
+// DefaultPrefetch returns a typical L2 stream prefetcher sizing.
+func DefaultPrefetch() PrefetchConfig {
+	return PrefetchConfig{Enabled: true, Streams: 16, Degree: 4, Distance: 24}
+}
+
+// streamEntry tracks one detected sequential stream within a 4 KiB region.
+type streamEntry struct {
+	region   uint64 // line >> regionShift
+	lastLine uint64
+	dir      int64  // +1 ascending, -1 descending, 0 untrained
+	ahead    uint64 // next line to prefetch
+	conf     int8
+	lru      uint32
+	valid    bool
+}
+
+const regionShift = 6 // 64 lines = 4 KiB regions
+
+// streamPrefetcher detects per-region sequential streams and issues
+// prefetches Degree lines at a time, up to Distance lines ahead of the
+// demand pointer. Prefetches continue to be generated as long as demand
+// traffic keeps a stream alive, which sustains MSHR pressure even when the
+// pipeline itself is stalled — the behavior behind the paper's bwaves
+// analysis.
+type streamPrefetcher struct {
+	cfg     PrefetchConfig
+	streams []streamEntry
+	tick    uint32
+	out     []uint64 // reused output buffer
+}
+
+func newStreamPrefetcher(cfg PrefetchConfig) *streamPrefetcher {
+	if cfg.Streams < 1 {
+		cfg.Streams = 1
+	}
+	if cfg.Degree < 1 {
+		cfg.Degree = 1
+	}
+	if cfg.Distance < cfg.Degree {
+		cfg.Distance = cfg.Degree
+	}
+	return &streamPrefetcher{
+		cfg:     cfg,
+		streams: make([]streamEntry, cfg.Streams),
+		out:     make([]uint64, 0, cfg.Degree),
+	}
+}
+
+func (p *streamPrefetcher) reset() {
+	for i := range p.streams {
+		p.streams[i] = streamEntry{}
+	}
+	p.tick = 0
+	p.out = p.out[:0]
+}
+
+// observe is called on each demand data access; it returns the lines to
+// prefetch (the returned slice is reused across calls).
+func (p *streamPrefetcher) observe(ln uint64, miss bool) []uint64 {
+	p.out = p.out[:0]
+	region := ln >> regionShift
+	p.tick++
+
+	// Find the stream for this region.
+	var s *streamEntry
+	victim := 0
+	for i := range p.streams {
+		e := &p.streams[i]
+		if e.valid && e.region == region {
+			s = e
+			break
+		}
+		if !p.streams[victim].valid {
+			continue
+		}
+		if !e.valid || e.lru < p.streams[victim].lru {
+			victim = i
+		}
+	}
+	if s == nil {
+		if !miss {
+			return p.out // only allocate streams on misses
+		}
+		s = &p.streams[victim]
+		*s = streamEntry{region: region, lastLine: ln, lru: p.tick, valid: true}
+		return p.out
+	}
+	s.lru = p.tick
+
+	// Train direction.
+	switch {
+	case ln == s.lastLine:
+		return p.out
+	case ln == s.lastLine+1:
+		if s.dir == 1 {
+			if s.conf < 4 {
+				s.conf++
+			}
+		} else {
+			s.dir, s.conf = 1, 1
+			s.ahead = ln + 1
+		}
+	case ln == s.lastLine-1:
+		if s.dir == -1 {
+			if s.conf < 4 {
+				s.conf++
+			}
+		} else {
+			s.dir, s.conf = -1, 1
+			s.ahead = ln - 1
+		}
+	default:
+		// Non-unit step: lose confidence, retrain around the new point.
+		if s.conf > 0 {
+			s.conf--
+		}
+		s.lastLine = ln
+		return p.out
+	}
+	s.lastLine = ln
+
+	if s.conf < 2 {
+		return p.out
+	}
+
+	// Issue up to Degree prefetches, keeping ahead within Distance of the
+	// demand pointer and inside the region.
+	for n := 0; n < p.cfg.Degree; n++ {
+		var gap int64
+		if s.dir > 0 {
+			gap = int64(s.ahead) - int64(ln)
+		} else {
+			gap = int64(ln) - int64(s.ahead)
+		}
+		if gap > int64(p.cfg.Distance) || gap < 0 {
+			break
+		}
+		if s.ahead>>regionShift != region {
+			break
+		}
+		p.out = append(p.out, s.ahead)
+		if s.dir > 0 {
+			s.ahead++
+		} else {
+			if s.ahead == 0 {
+				break
+			}
+			s.ahead--
+		}
+	}
+	return p.out
+}

@@ -1,0 +1,103 @@
+package cache
+
+// PageShift is log2 of the page size (4 KiB pages).
+const PageShift = 12
+
+// PageOf maps a byte address to its virtual page number.
+func PageOf(addr uint64) uint64 { return addr >> PageShift }
+
+// TLBConfig sizes a translation lookaside buffer.
+type TLBConfig struct {
+	// Entries is the total entry count.
+	Entries int
+	// Ways is the associativity.
+	Ways int
+	// MissLatency is the page-walk cost in cycles added to the access.
+	MissLatency int64
+}
+
+// TLBStats counts TLB events.
+type TLBStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// MissRate returns misses per access (0 when idle).
+func (s TLBStats) MissRate() float64 {
+	a := s.Hits + s.Misses
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(a)
+}
+
+// TLB is a set-associative translation lookaside buffer. The paper lumps TLB
+// penalties into the I-cache/D-cache components; the pipeline does the same
+// by adding the walk latency to the corresponding cache access.
+type TLB struct {
+	cfg  TLBConfig
+	sets int
+	ways int
+	tag  []uint64
+	lru  []uint32
+	tick uint32
+
+	// Stats is exported for experiment reporting.
+	Stats TLBStats
+}
+
+// NewTLB builds a TLB; entries are rounded so sets are a power of two.
+func NewTLB(cfg TLBConfig) *TLB {
+	if cfg.Ways < 1 {
+		cfg.Ways = 1
+	}
+	sets := cfg.Entries / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	n := sets * cfg.Ways
+	return &TLB{cfg: cfg, sets: sets, ways: cfg.Ways, tag: make([]uint64, n), lru: make([]uint32, n)}
+}
+
+// Reset invalidates all entries and clears statistics.
+func (t *TLB) Reset() {
+	for i := range t.tag {
+		t.tag[i] = 0
+		t.lru[i] = 0
+	}
+	t.tick = 0
+	t.Stats = TLBStats{}
+}
+
+// Access translates page, returning the extra latency (0 on hit, the walk
+// cost on a miss) and whether it missed.
+func (t *TLB) Access(page uint64) (extra int64, miss bool) {
+	base := int(page&uint64(t.sets-1)) * t.ways
+	key := page<<1 | 1
+	t.tick++
+	for w := 0; w < t.ways; w++ {
+		if t.tag[base+w] == key {
+			t.lru[base+w] = t.tick
+			t.Stats.Hits++
+			return 0, false
+		}
+	}
+	t.Stats.Misses++
+	victim := base
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.tag[i] == 0 {
+			victim = i
+			break
+		}
+		if t.lru[i] < t.lru[victim] {
+			victim = i
+		}
+	}
+	t.tag[victim] = key
+	t.lru[victim] = t.tick
+	return t.cfg.MissLatency, true
+}

@@ -1,0 +1,123 @@
+package cache
+
+import "testing"
+
+func TestTLBHitAfterFill(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 16, Ways: 4, MissLatency: 30})
+	if extra, miss := tlb.Access(5); !miss || extra != 30 {
+		t.Fatalf("cold access = (%d,%v), want (30,true)", extra, miss)
+	}
+	if extra, miss := tlb.Access(5); miss || extra != 0 {
+		t.Fatalf("warm access = (%d,%v), want (0,false)", extra, miss)
+	}
+}
+
+func TestTLBEvictsLRU(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 2, Ways: 2, MissLatency: 10})
+	// sets=1, ways=2.
+	tlb.Access(1)
+	tlb.Access(2)
+	tlb.Access(1) // refresh
+	tlb.Access(3) // evicts 2
+	if _, miss := tlb.Access(1); miss {
+		t.Fatal("page 1 should survive")
+	}
+	if _, miss := tlb.Access(2); !miss {
+		t.Fatal("page 2 should have been evicted")
+	}
+}
+
+func TestTLBStats(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 16, Ways: 4, MissLatency: 10})
+	tlb.Access(1)
+	tlb.Access(1)
+	tlb.Access(2)
+	if tlb.Stats.Hits != 1 || tlb.Stats.Misses != 2 {
+		t.Fatalf("stats = %d/%d, want 1 hit / 2 misses", tlb.Stats.Hits, tlb.Stats.Misses)
+	}
+	if r := tlb.Stats.MissRate(); r < 0.66 || r > 0.67 {
+		t.Fatalf("MissRate = %v, want 2/3", r)
+	}
+}
+
+func TestTLBReset(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 16, Ways: 4, MissLatency: 10})
+	tlb.Access(7)
+	tlb.Reset()
+	if _, miss := tlb.Access(7); !miss {
+		t.Fatal("Reset should invalidate entries")
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(4095) != 0 || PageOf(4096) != 1 {
+		t.Fatal("PageOf is not a 4 KiB mapping")
+	}
+}
+
+func TestPrefetcherDetectsAscendingStream(t *testing.T) {
+	p := newStreamPrefetcher(PrefetchConfig{Enabled: true, Streams: 4, Degree: 2, Distance: 8})
+	issued := 0
+	for ln := uint64(1000); ln < 1030; ln++ {
+		issued += len(p.observe(ln, true))
+	}
+	if issued == 0 {
+		t.Fatal("ascending stream should trigger prefetches")
+	}
+}
+
+func TestPrefetcherDetectsDescendingStream(t *testing.T) {
+	p := newStreamPrefetcher(PrefetchConfig{Enabled: true, Streams: 4, Degree: 2, Distance: 8})
+	issued := 0
+	for i := 0; i < 30; i++ {
+		issued += len(p.observe(uint64(2030-i), true))
+	}
+	if issued == 0 {
+		t.Fatal("descending stream should trigger prefetches")
+	}
+}
+
+func TestPrefetcherIgnoresRandomAccesses(t *testing.T) {
+	p := newStreamPrefetcher(PrefetchConfig{Enabled: true, Streams: 4, Degree: 2, Distance: 8})
+	rng := uint64(7)
+	issued := 0
+	for i := 0; i < 100; i++ {
+		rng = rng*6364136223846793005 + 1
+		issued += len(p.observe(rng%64, true)) // random within one region
+	}
+	if issued > 10 {
+		t.Fatalf("random accesses triggered %d prefetches", issued)
+	}
+}
+
+func TestPrefetcherStaysInRegion(t *testing.T) {
+	p := newStreamPrefetcher(PrefetchConfig{Enabled: true, Streams: 4, Degree: 4, Distance: 16})
+	region := uint64(5000) >> regionShift
+	for ln := uint64(5000); ln < 5000+80; ln++ {
+		for _, pf := range p.observe(ln, true) {
+			if pf>>regionShift != region && pf>>regionShift != ln>>regionShift {
+				t.Fatalf("prefetch %d escaped its region", pf)
+			}
+		}
+	}
+}
+
+func TestPrefetchesOccupyMSHRs(t *testing.T) {
+	// A cache with a prefetcher should record prefetch issues and can hit
+	// in-flight prefetches (PrefetchHits).
+	c := New(Config{
+		Name: "L2", SizeBytes: 64 * 1024, Ways: 8, HitLatency: 5, MSHRs: 8,
+		Prefetch: PrefetchConfig{Enabled: true, Streams: 4, Degree: 2, Distance: 8},
+	}, MemLevel(newMem()))
+	at := int64(0)
+	for ln := uint64(100); ln < 140; ln++ {
+		c.Access(Request{Line: ln, At: at})
+		at += 2
+	}
+	if c.Stats.PrefetchIssued == 0 {
+		t.Fatal("stream should have issued prefetches")
+	}
+	if c.Stats.PrefetchHits == 0 {
+		t.Fatal("demand stream should have merged with in-flight prefetches")
+	}
+}

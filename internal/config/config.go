@@ -1,0 +1,281 @@
+// Package config assembles full machine configurations — core pipeline,
+// branch predictor, cache hierarchy and memory — for the three processors
+// the paper evaluates on: an Intel Broadwell-inspired core (BDW, 4-wide
+// out-of-order, 18-core socket), an Intel Knights Landing-inspired core
+// (KNL, 2-wide out-of-order, 68-core socket, AVX-512) and an Intel
+// Skylake-SP-inspired core (SKX, 4-wide, 26-core socket, AVX-512).
+//
+// Following the paper's methodology, all uncore components (shared cache
+// capacity and memory bandwidth) are scaled down by the socket core count to
+// mimic a fully loaded processor.
+package config
+
+import (
+	"fmt"
+
+	"perfstacks/internal/bpred"
+	"perfstacks/internal/cache"
+	"perfstacks/internal/cpu"
+	"perfstacks/internal/mem"
+)
+
+// Machine is a complete single-core machine configuration.
+type Machine struct {
+	// Name identifies the configuration ("BDW", "KNL", "SKX").
+	Name string
+	// Core is the pipeline configuration.
+	Core cpu.Params
+	// Bpred sizes the branch predictor.
+	Bpred bpred.Config
+	// Hierarchy is the cache/memory configuration (uncore pre-scaled).
+	Hierarchy cache.HierarchyConfig
+	// SocketCores is the core count used for uncore scaling.
+	SocketCores int
+	// FreqGHz is the core clock, used to express FLOPS stacks in ops/s.
+	FreqGHz float64
+}
+
+// Idealize holds the paper's idealization switches (§IV): perfect L1 caches,
+// perfect branch prediction and single-cycle arithmetic.
+type Idealize struct {
+	PerfectICache  bool
+	PerfectDCache  bool
+	PerfectBpred   bool
+	SingleCycleALU bool
+}
+
+// None returns no idealizations (the "all real" configuration).
+func None() Idealize { return Idealize{} }
+
+// String names the idealization combination, e.g. "perfect-bpred+dcache".
+func (id Idealize) String() string {
+	s := ""
+	add := func(name string, on bool) {
+		if !on {
+			return
+		}
+		if s != "" {
+			s += "+"
+		}
+		s += name
+	}
+	add("icache", id.PerfectICache)
+	add("dcache", id.PerfectDCache)
+	add("bpred", id.PerfectBpred)
+	add("alu1", id.SingleCycleALU)
+	if s == "" {
+		return "real"
+	}
+	return "perfect-" + s
+}
+
+// Apply returns a copy of the machine with the idealizations switched on.
+func (m Machine) Apply(id Idealize) Machine {
+	m.Core.PerfectBpred = m.Core.PerfectBpred || id.PerfectBpred
+	m.Core.SingleCycleALU = m.Core.SingleCycleALU || id.SingleCycleALU
+	m.Hierarchy.PerfectL1I = m.Hierarchy.PerfectL1I || id.PerfectICache
+	m.Hierarchy.PerfectL1D = m.Hierarchy.PerfectL1D || id.PerfectDCache
+	return m
+}
+
+// Validate checks the assembled configuration.
+func (m Machine) Validate() error {
+	if err := m.Core.Validate(); err != nil {
+		return err
+	}
+	for _, c := range []cache.Config{m.Hierarchy.L1I, m.Hierarchy.L1D, m.Hierarchy.L2, m.Hierarchy.L3} {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("machine %s: %w", m.Name, err)
+		}
+	}
+	if m.SocketCores < 1 {
+		return fmt.Errorf("machine %s: socket core count must be >= 1", m.Name)
+	}
+	return nil
+}
+
+// Freq returns the clock in Hz.
+func (m Machine) Freq() float64 { return m.FreqGHz * 1e9 }
+
+// scaleUncore divides the shared L3 capacity by the socket core count and
+// returns the per-core memory bandwidth as core cycles per 64-byte line:
+// freqGHz / (socketGBs/64) * cores. A fully loaded 18-core BDW socket at
+// 76.8 GB/s leaves each core ~4.3 GB/s, i.e. one line every ~35 cycles.
+func scaleUncore(l3Size int, socketGBs, freqGHz float64, cores int) (int, int64) {
+	size := l3Size / cores
+	if size < 64*1024 {
+		size = 64 * 1024
+	}
+	cpl := int64(freqGHz*1e9/(socketGBs*1e9/64)*float64(cores) + 0.5)
+	if cpl < 1 {
+		cpl = 1
+	}
+	return size, cpl
+}
+
+// BDW returns the Broadwell-inspired configuration: a 4-wide out-of-order
+// core with a deep ROB, 18-core socket scaling.
+func BDW() Machine {
+	const cores = 18
+	l3, memCPL := scaleUncore(45*1024*1024, 76.8, 2.3, cores)
+	return Machine{
+		Name: "BDW",
+		Core: cpu.Params{
+			Name:              "BDW",
+			FetchWidth:        4,
+			DispatchWidth:     4,
+			IssueWidth:        6,
+			CommitWidth:       4,
+			ROBSize:           192,
+			RSSize:            60,
+			FEQueueSize:       28,
+			IntALUs:           4,
+			IntMulDivs:        1,
+			LoadPorts:         2,
+			StorePorts:        1,
+			VFPUnits:          2,
+			VectorLanes:       8, // AVX2: 8 single-precision lanes
+			Lat:               cpu.DefaultLatencies(),
+			MispredictPenalty: 15,
+			MemDisambiguation: true,
+		},
+		Bpred: bpred.DefaultConfig(),
+		Hierarchy: cache.HierarchyConfig{
+			L1I: cache.Config{Name: "L1-I", SizeBytes: 32 * 1024, Ways: 8, HitLatency: 1, MSHRs: 8},
+			L1D: cache.Config{Name: "L1-D", SizeBytes: 32 * 1024, Ways: 8, HitLatency: 4, MSHRs: 10},
+			L2: cache.Config{
+				Name: "L2", SizeBytes: 256 * 1024, Ways: 8, HitLatency: 12, MSHRs: 16,
+				PortCycles: 1, Prefetch: cache.DefaultPrefetch(),
+			},
+			L3:   cache.Config{Name: "L3", SizeBytes: l3, Ways: 16, HitLatency: 35, MSHRs: 32},
+			ITLB: cache.TLBConfig{Entries: 128, Ways: 4, MissLatency: 20},
+			DTLB: cache.TLBConfig{Entries: 64, Ways: 4, MissLatency: 20},
+			Mem:  mem.Config{Latency: 180, CyclesPerLine: memCPL},
+		},
+		SocketCores: cores,
+		FreqGHz:     2.3,
+	}
+}
+
+// KNL returns the Knights Landing-inspired configuration: a 2-wide
+// out-of-order core with a modest ROB, microcoded-instruction decode stalls,
+// AVX-512 vector units, 68-core socket scaling.
+func KNL() Machine {
+	const cores = 68
+	l3, memCPL := scaleUncore(34*1024*1024, 400, 1.4, cores)
+	lat := cpu.DefaultLatencies()
+	lat.Mul = 5
+	lat.Div = 32
+	lat.FPAdd = 6
+	lat.FPMul = 6
+	lat.FMA = 6
+	lat.Broadcast = 5
+	return Machine{
+		Name: "KNL",
+		Core: cpu.Params{
+			Name:              "KNL",
+			FetchWidth:        2,
+			DispatchWidth:     2,
+			IssueWidth:        4,
+			CommitWidth:       2,
+			ROBSize:           72,
+			RSSize:            38,
+			FEQueueSize:       16,
+			IntALUs:           2,
+			IntMulDivs:        1,
+			LoadPorts:         2,
+			StorePorts:        1,
+			VFPUnits:          2,
+			VectorLanes:       16, // AVX-512: 16 single-precision lanes
+			Lat:               lat,
+			MispredictPenalty: 12,
+			MemDisambiguation: true,
+		},
+		Bpred: bpred.Config{
+			BimodalBits: 11, GshareBits: 11, ChoiceBits: 10,
+			BTBEntries: 1024, BTBWays: 4, RASEntries: 16,
+		},
+		Hierarchy: cache.HierarchyConfig{
+			L1I: cache.Config{Name: "L1-I", SizeBytes: 32 * 1024, Ways: 8, HitLatency: 1, MSHRs: 4},
+			L1D: cache.Config{Name: "L1-D", SizeBytes: 32 * 1024, Ways: 8, HitLatency: 4, MSHRs: 8},
+			// KNL has no L3: its "L2" is the 1 MiB tile cache (shared by 2
+			// cores); the L3 slot models the scaled MCDRAM-side capacity.
+			L2: cache.Config{
+				Name: "L2", SizeBytes: 512 * 1024, Ways: 16, HitLatency: 17, MSHRs: 12,
+				PortCycles: 1, Prefetch: cache.DefaultPrefetch(),
+			},
+			L3:   cache.Config{Name: "MCDRAM$", SizeBytes: l3, Ways: 16, HitLatency: 60, MSHRs: 32},
+			ITLB: cache.TLBConfig{Entries: 64, Ways: 4, MissLatency: 25},
+			DTLB: cache.TLBConfig{Entries: 64, Ways: 4, MissLatency: 25},
+			Mem:  mem.Config{Latency: 230, CyclesPerLine: memCPL},
+		},
+		SocketCores: cores,
+		FreqGHz:     1.4,
+	}
+}
+
+// SKX returns the Skylake-SP-inspired configuration: a 4-wide out-of-order
+// core with AVX-512, 26-core socket scaling.
+func SKX() Machine {
+	const cores = 26
+	l3, memCPL := scaleUncore(35*1024*1024, 128, 2.1, cores)
+	lat := cpu.DefaultLatencies()
+	lat.FMA = 4
+	lat.FPAdd = 4
+	lat.FPMul = 4
+	lat.Broadcast = 6 // load-to-broadcast register sequence
+	return Machine{
+		Name: "SKX",
+		Core: cpu.Params{
+			Name:              "SKX",
+			FetchWidth:        4,
+			DispatchWidth:     4,
+			IssueWidth:        8,
+			CommitWidth:       4,
+			ROBSize:           224,
+			RSSize:            97,
+			FEQueueSize:       32,
+			IntALUs:           4,
+			IntMulDivs:        1,
+			LoadPorts:         2,
+			StorePorts:        1,
+			VFPUnits:          2,
+			VectorLanes:       16, // AVX-512
+			Lat:               lat,
+			MispredictPenalty: 16,
+			MemDisambiguation: true,
+		},
+		Bpred: bpred.DefaultConfig(),
+		Hierarchy: cache.HierarchyConfig{
+			L1I: cache.Config{Name: "L1-I", SizeBytes: 32 * 1024, Ways: 8, HitLatency: 1, MSHRs: 8},
+			L1D: cache.Config{Name: "L1-D", SizeBytes: 32 * 1024, Ways: 8, HitLatency: 4, MSHRs: 12},
+			L2: cache.Config{
+				Name: "L2", SizeBytes: 1024 * 1024, Ways: 16, HitLatency: 14, MSHRs: 16,
+				PortCycles: 1, Prefetch: cache.DefaultPrefetch(),
+			},
+			L3:   cache.Config{Name: "L3", SizeBytes: l3, Ways: 11, HitLatency: 40, MSHRs: 32},
+			ITLB: cache.TLBConfig{Entries: 128, Ways: 8, MissLatency: 20},
+			DTLB: cache.TLBConfig{Entries: 64, Ways: 4, MissLatency: 20},
+			Mem:  mem.Config{Latency: 190, CyclesPerLine: memCPL},
+		},
+		SocketCores: cores,
+		FreqGHz:     2.1,
+	}
+}
+
+// ByName returns a machine configuration by name (case-sensitive: "BDW",
+// "KNL", "SKX").
+func ByName(name string) (Machine, error) {
+	switch name {
+	case "BDW":
+		return BDW(), nil
+	case "KNL":
+		return KNL(), nil
+	case "SKX":
+		return SKX(), nil
+	}
+	return Machine{}, fmt.Errorf("unknown machine %q (want BDW, KNL or SKX)", name)
+}
+
+// All returns all machine configurations.
+func All() []Machine { return []Machine{BDW(), KNL(), SKX()} }

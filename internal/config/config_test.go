@@ -1,0 +1,104 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllMachinesValidate(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"BDW", "KNL", "SKX"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%s) = (%s,%v)", name, m.Name, err)
+		}
+	}
+	if _, err := ByName("P4"); err == nil {
+		t.Fatal("unknown machine should error")
+	}
+}
+
+func TestPaperWidths(t *testing.T) {
+	if w := BDW().Core.MinWidth(); w != 4 {
+		t.Errorf("BDW is a 4-wide machine, MinWidth = %d", w)
+	}
+	if w := KNL().Core.MinWidth(); w != 2 {
+		t.Errorf("KNL is a 2-wide machine, MinWidth = %d", w)
+	}
+	if w := SKX().Core.MinWidth(); w != 4 {
+		t.Errorf("SKX is a 4-wide machine, MinWidth = %d", w)
+	}
+}
+
+func TestAVX512Lanes(t *testing.T) {
+	if KNL().Core.VectorLanes != 16 || SKX().Core.VectorLanes != 16 {
+		t.Error("KNL and SKX support AVX-512: 16 single-precision lanes")
+	}
+	if BDW().Core.VectorLanes != 8 {
+		t.Error("BDW is AVX2: 8 single-precision lanes")
+	}
+}
+
+func TestUncoreScaling(t *testing.T) {
+	// The shared L3 slice must be the socket capacity divided by cores.
+	bdw := BDW()
+	if got := bdw.Hierarchy.L3.SizeBytes; got != 45*1024*1024/18 {
+		t.Errorf("BDW L3 slice = %d, want 45MiB/18", got)
+	}
+	// Per-core bandwidth must be far below a dedicated socket's.
+	if bdw.Hierarchy.Mem.CyclesPerLine < 10 {
+		t.Errorf("BDW scaled memory bandwidth looks unscaled: %d cycles/line",
+			bdw.Hierarchy.Mem.CyclesPerLine)
+	}
+	knl := KNL()
+	if knl.Hierarchy.Mem.CyclesPerLine >= bdw.Hierarchy.Mem.CyclesPerLine {
+		t.Error("KNL (MCDRAM) should have more per-core bandwidth than BDW")
+	}
+}
+
+func TestApplyIdealize(t *testing.T) {
+	m := BDW().Apply(Idealize{PerfectICache: true, PerfectBpred: true})
+	if !m.Hierarchy.PerfectL1I || m.Hierarchy.PerfectL1D {
+		t.Fatal("Apply should set exactly the requested cache idealizations")
+	}
+	if !m.Core.PerfectBpred || m.Core.SingleCycleALU {
+		t.Fatal("Apply should set exactly the requested core idealizations")
+	}
+	// Apply must not mutate the receiver's source.
+	base := BDW()
+	_ = base.Apply(Idealize{PerfectDCache: true})
+	if base.Hierarchy.PerfectL1D {
+		t.Fatal("Apply must be value semantics")
+	}
+}
+
+func TestIdealizeString(t *testing.T) {
+	if None().String() != "real" {
+		t.Fatal("no idealizations should render as real")
+	}
+	s := Idealize{PerfectBpred: true, PerfectDCache: true}.String()
+	if !strings.Contains(s, "bpred") || !strings.Contains(s, "dcache") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestFreq(t *testing.T) {
+	if BDW().Freq() != 2.3e9 {
+		t.Fatal("Freq should convert GHz to Hz")
+	}
+}
+
+func TestValidateCatchesBadSocket(t *testing.T) {
+	m := BDW()
+	m.SocketCores = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero socket cores should fail validation")
+	}
+}

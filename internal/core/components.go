@@ -1,0 +1,166 @@
+// Package core implements the paper's contribution: multi-stage CPI stack
+// accounting (Table II of the paper) at the dispatch, issue and commit
+// stages of an out-of-order pipeline, FLOPS stack accounting (Table III) at
+// the issue stage, IPC-stack views, width normalization across stages of
+// different widths, and the three wrong-path accounting schemes of §III-B
+// (oracle, simple, speculative counters).
+//
+// The package is decoupled from the pipeline model: the pipeline emits one
+// CycleSample per simulated cycle carrying the per-stage signals the
+// algorithms need (uops processed, frontend stall cause, ROB/RS state, head
+// and first-non-ready classifications, vector floating-point issue shape),
+// and the accountants consume samples. This keeps the accounting logic — the
+// paper's Table II and Table III, line for line — testable in isolation.
+package core
+
+// Component enumerates CPI stack components. The set follows the paper's
+// simplified algorithm (base, branch predictor, I-cache, D-cache, ALU
+// latency, dependence) plus the microcode component that appears in the KNL
+// case studies, the "Unsched" synchronization component of Figure 5, and an
+// explicit Other component that absorbs the stall fractions Table II leaves
+// unattributed (partial frontend delivery, issue-port/structural stalls) so
+// that every stack sums exactly to the total cycle count.
+type Component int
+
+const (
+	// CompBase is time spent actually processing instructions: Σ n/W.
+	CompBase Component = iota
+	// CompBpred is time lost to branch mispredictions.
+	CompBpred
+	// CompICache is time lost to instruction cache (and ITLB) misses.
+	CompICache
+	// CompDCache is time lost to data cache (and DTLB) misses.
+	CompDCache
+	// CompALULat is time lost to multi-cycle execution latencies.
+	CompALULat
+	// CompDepend is time lost to inter-instruction dependences.
+	CompDepend
+	// CompMicrocode is time lost decoding microcoded instructions.
+	CompMicrocode
+	// CompUnsched is time lost to threads yielded at synchronization.
+	CompUnsched
+	// CompOther absorbs structural and otherwise unattributed stalls.
+	CompOther
+
+	// NumComponents is the number of CPI stack components.
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	"Base", "Bpred", "Icache", "Dcache", "ALU", "Depend",
+	"Microcode", "Unsched", "Other",
+}
+
+// String returns the component's display name as used in the paper's plots.
+func (c Component) String() string {
+	if c >= 0 && c < NumComponents {
+		return componentNames[c]
+	}
+	return "Comp?"
+}
+
+// Components lists all CPI components in stack order (base at the bottom).
+func Components() []Component {
+	out := make([]Component, NumComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// Stage enumerates the pipeline stages at which CPI stacks are measured.
+type Stage int
+
+const (
+	// StageDispatch accounts where instructions leave the frontend and
+	// allocate ROB/RS entries (Eyerman et al. [8]).
+	StageDispatch Stage = iota
+	// StageIssue accounts where instructions start executing on functional
+	// units; the only stage with dependence information.
+	StageIssue
+	// StageCommit accounts where instructions retire from the ROB (IBM
+	// POWER style [14]).
+	StageCommit
+
+	// NumStages is the number of accounting stages in the multi-stage
+	// representation.
+	NumStages
+)
+
+// StageFetch labels the optional fetch/decode-stage stack. It is measured
+// by a separate FetchAccountant and is not part of MultiStack (the paper's
+// three-stack representation), hence it sits outside the NumStages range.
+const StageFetch Stage = NumStages
+
+var stageNames = [NumStages]string{"dispatch", "issue", "commit"}
+
+// String returns the stage name.
+func (s Stage) String() string {
+	if s >= 0 && s < NumStages {
+		return stageNames[s]
+	}
+	if s == StageFetch {
+		return "fetch"
+	}
+	return "stage?"
+}
+
+// Stages lists the accounting stages in pipeline order.
+func Stages() []Stage { return []Stage{StageDispatch, StageIssue, StageCommit} }
+
+// FLOPSComponent enumerates FLOPS stack components (Table III), with the
+// frontend component subdivided into its three causes as the paper suggests,
+// plus Unsched and Other for the same reasons as in CPI stacks.
+type FLOPSComponent int
+
+const (
+	// FBase is cycles at maximum FLOPS: Σ a·n·m / (2·k·v).
+	FBase FLOPSComponent = iota
+	// FNonFMA is throughput lost to non-FMA vector FP instructions.
+	FNonFMA
+	// FMask is throughput lost to masked-off vector lanes.
+	FMask
+	// FFrontendNoVFP is slots lost because the instructions available were
+	// all non-floating-point.
+	FFrontendNoVFP
+	// FFrontendICache is slots lost to instruction cache misses.
+	FFrontendICache
+	// FFrontendBpred is slots lost to branch mispredictions.
+	FFrontendBpred
+	// FNonVFP is slots lost because a vector unit executed non-VFP work
+	// (integer vector ops, broadcasts).
+	FNonVFP
+	// FMem is slots lost to VFP instructions waiting on memory loads.
+	FMem
+	// FDepend is slots lost to dependences between VFP instructions.
+	FDepend
+	// FUnsched is slots lost to threads yielded at synchronization.
+	FUnsched
+	// FOther absorbs structural and otherwise unattributed losses.
+	FOther
+
+	// NumFLOPSComponents is the number of FLOPS stack components.
+	NumFLOPSComponents
+)
+
+var flopsComponentNames = [NumFLOPSComponents]string{
+	"Base", "NonFMA", "Mask", "Frontend", "FE-Icache", "FE-Bpred",
+	"NonVFP", "Memory", "Depend", "Unsched", "Other",
+}
+
+// String returns the component's display name.
+func (c FLOPSComponent) String() string {
+	if c >= 0 && c < NumFLOPSComponents {
+		return flopsComponentNames[c]
+	}
+	return "FComp?"
+}
+
+// FLOPSComponents lists all FLOPS components in stack order.
+func FLOPSComponents() []FLOPSComponent {
+	out := make([]FLOPSComponent, NumFLOPSComponents)
+	for i := range out {
+		out[i] = FLOPSComponent(i)
+	}
+	return out
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// feed drives an accountant with identical samples for n cycles.
+func feed(a *MultiStageAccountant, s CycleSample, n int) {
+	for i := 0; i < n; i++ {
+		a.Cycle(&s)
+	}
+}
+
+func newAcct(w int) *MultiStageAccountant {
+	return NewMultiStageAccountant(Options{Width: w})
+}
+
+func TestFullWidthCyclesAreAllBase(t *testing.T) {
+	a := newAcct(4)
+	feed(a, CycleSample{DispatchN: 4, IssueN: 4, CommitN: 4}, 100)
+	ms := a.Finalize(0)
+	for _, st := range Stages() {
+		s := ms.Stack(st)
+		if s.Comp[CompBase] != 100 {
+			t.Errorf("%s base = %v, want 100", st, s.Comp[CompBase])
+		}
+		if s.Sum() != 100 {
+			t.Errorf("%s sum = %v, want 100", st, s.Sum())
+		}
+	}
+}
+
+func TestBaseComponentEqualAcrossStages(t *testing.T) {
+	// Uneven per-cycle rates but equal totals: base components must match
+	// across stages ("the base component for all stacks is the same").
+	a := newAcct(2)
+	a.Cycle(&CycleSample{DispatchN: 2, IssueN: 0, CommitN: 0,
+		RSEmpty: true, ROBEmpty: true, FECause: FEICache})
+	a.Cycle(&CycleSample{DispatchN: 2, IssueN: 2, CommitN: 1,
+		FEEmpty: true, FECause: FEICache, ROBHeadNotDone: true, ROBHeadClass: ProdDepend})
+	a.Cycle(&CycleSample{DispatchN: 0, IssueN: 2, CommitN: 3,
+		FEEmpty: true, FECause: FEICache})
+	// Drain the commit-stage width carryover (3 committed in one 2-wide
+	// cycle) so the totals are comparable.
+	a.Cycle(&CycleSample{DispatchN: 0, IssueN: 0, CommitN: 0,
+		FEEmpty: true, FECause: FEICache, RSEmpty: true, ROBEmpty: true})
+	ms := a.Finalize(0)
+	base := ms.Stack(StageDispatch).Comp[CompBase]
+	for _, st := range Stages() {
+		if got := ms.Stack(st).Comp[CompBase]; math.Abs(got-base) > 1e-12 {
+			t.Errorf("%s base = %v, want %v", st, got, base)
+		}
+	}
+}
+
+func TestDispatchFrontendCauseAttribution(t *testing.T) {
+	cases := []struct {
+		cause FECause
+		comp  Component
+	}{
+		{FEICache, CompICache},
+		{FEBpred, CompBpred},
+		{FEMicrocode, CompMicrocode},
+		{FEUnsched, CompUnsched},
+		{FEDrained, CompOther},
+	}
+	for _, c := range cases {
+		a := newAcct(4)
+		feed(a, CycleSample{DispatchN: 0, FEEmpty: true, FECause: c.cause,
+			RSEmpty: true, ROBEmpty: true}, 10)
+		ms := a.Finalize(0)
+		if got := ms.Stack(StageDispatch).Comp[c.comp]; got != 10 {
+			t.Errorf("cause %v: dispatch %v = %v, want 10", c.cause, c.comp, got)
+		}
+	}
+}
+
+func TestDispatchROBFullBlamesHead(t *testing.T) {
+	cases := []struct {
+		cls  ProdClass
+		comp Component
+	}{
+		{ProdDCache, CompDCache},
+		{ProdLongLat, CompALULat},
+		{ProdDepend, CompDepend},
+	}
+	for _, c := range cases {
+		a := newAcct(4)
+		feed(a, CycleSample{DispatchN: 0, ROBFull: true, ROBHeadClass: c.cls,
+			IssueN: 4, CommitN: 4}, 10)
+		ms := a.Finalize(0)
+		if got := ms.Stack(StageDispatch).Comp[c.comp]; got != 10 {
+			t.Errorf("head %v: dispatch %v = %v, want 10", c.cls, c.comp, got)
+		}
+	}
+}
+
+func TestDispatchPartialDeliveryChargedToFrontend(t *testing.T) {
+	// 2 of 4 dispatched, queue then empty on an I-cache miss: half the
+	// cycle is base, half I-cache.
+	a := newAcct(4)
+	feed(a, CycleSample{DispatchN: 2, FEEmpty: true, FECause: FEICache,
+		IssueN: 2, CommitN: 2, RSEmpty: true, ROBEmpty: true}, 10)
+	ms := a.Finalize(0)
+	d := ms.Stack(StageDispatch)
+	if d.Comp[CompBase] != 5 || d.Comp[CompICache] != 5 {
+		t.Fatalf("partial delivery: base %v icache %v, want 5/5", d.Comp[CompBase], d.Comp[CompICache])
+	}
+}
+
+func TestIssueFirstNonReadyClassification(t *testing.T) {
+	cases := []struct {
+		cls  ProdClass
+		comp Component
+	}{
+		{ProdDCache, CompDCache},
+		{ProdLongLat, CompALULat},
+		{ProdDepend, CompDepend},
+	}
+	for _, c := range cases {
+		a := newAcct(4)
+		feed(a, CycleSample{DispatchN: 4, IssueN: 0, CommitN: 4,
+			FirstNonReadyClass: c.cls}, 10)
+		ms := a.Finalize(0)
+		if got := ms.Stack(StageIssue).Comp[c.comp]; got != 10 {
+			t.Errorf("producer %v: issue %v = %v, want 10", c.cls, c.comp, got)
+		}
+	}
+}
+
+func TestIssueStructuralStallIsOther(t *testing.T) {
+	// RS has ready uops (FirstNonReadyClass == ProdNone) but ports blocked.
+	a := newAcct(4)
+	feed(a, CycleSample{DispatchN: 4, IssueN: 1, CommitN: 4,
+		FirstNonReadyClass: ProdNone}, 8)
+	ms := a.Finalize(0)
+	if got := ms.Stack(StageIssue).Comp[CompOther]; got != 6 {
+		t.Fatalf("structural issue stall = %v, want 6 (8 cycles x 0.75)", got)
+	}
+}
+
+func TestIssueRSEmptyUsesFrontendCause(t *testing.T) {
+	a := newAcct(2)
+	feed(a, CycleSample{DispatchN: 2, IssueN: 0, CommitN: 2,
+		RSEmpty: true, FECause: FEMicrocode}, 10)
+	ms := a.Finalize(0)
+	if got := ms.Stack(StageIssue).Comp[CompMicrocode]; got != 10 {
+		t.Fatalf("issue microcode = %v, want 10", got)
+	}
+}
+
+func TestIssueRSEmptyQuietFrontendBlamesROBHead(t *testing.T) {
+	// Everything in flight issued; ROB draining a D-cache miss.
+	a := newAcct(2)
+	feed(a, CycleSample{IssueN: 0, RSEmpty: true, FECause: FENone,
+		ROBEmpty: false, ROBHeadClass: ProdDCache, ROBHeadNotDone: true}, 5)
+	ms := a.Finalize(0)
+	if got := ms.Stack(StageIssue).Comp[CompDCache]; got != 5 {
+		t.Fatalf("issue dcache = %v, want 5", got)
+	}
+}
+
+func TestCommitROBEmptyUsesFrontendCause(t *testing.T) {
+	a := newAcct(4)
+	feed(a, CycleSample{CommitN: 0, ROBEmpty: true, FECause: FEBpred}, 7)
+	ms := a.Finalize(0)
+	if got := ms.Stack(StageCommit).Comp[CompBpred]; got != 7 {
+		t.Fatalf("commit bpred = %v, want 7", got)
+	}
+}
+
+func TestCommitHeadNotDoneBlamesHead(t *testing.T) {
+	a := newAcct(4)
+	feed(a, CycleSample{CommitN: 1, ROBHeadNotDone: true, ROBHeadClass: ProdLongLat}, 8)
+	ms := a.Finalize(0)
+	c := ms.Stack(StageCommit)
+	if got := c.Comp[CompALULat]; got != 6 {
+		t.Fatalf("commit ALU = %v, want 6", got)
+	}
+	if got := c.Comp[CompBase]; got != 2 {
+		t.Fatalf("commit base = %v, want 2", got)
+	}
+}
+
+func TestCommitBandwidthExhaustedIsOther(t *testing.T) {
+	a := newAcct(4)
+	feed(a, CycleSample{CommitN: 2, ROBHeadNotDone: false}, 4)
+	ms := a.Finalize(0)
+	if got := ms.Stack(StageCommit).Comp[CompOther]; got != 2 {
+		t.Fatalf("commit other = %v, want 2", got)
+	}
+}
+
+func TestUnschedDominatesAllStages(t *testing.T) {
+	a := newAcct(4)
+	feed(a, CycleSample{Unsched: true, FEEmpty: true, FECause: FEUnsched,
+		RSEmpty: true, ROBEmpty: true}, 12)
+	ms := a.Finalize(0)
+	for _, st := range Stages() {
+		if got := ms.Stack(st).Comp[CompUnsched]; got != 12 {
+			t.Errorf("%s unsched = %v, want 12", st, got)
+		}
+	}
+}
+
+func TestWidthCarryover(t *testing.T) {
+	// Issue 6-wide against W=4: f caps at 1, surplus carries. Alternating
+	// 6 and 2 issued sums to 8 per 2 cycles = full width: no stall.
+	a := newAcct(4)
+	for i := 0; i < 10; i++ {
+		n := 6
+		if i%2 == 1 {
+			n = 2
+		}
+		a.Cycle(&CycleSample{DispatchN: 4, IssueN: n, CommitN: 4})
+	}
+	ms := a.Finalize(0)
+	is := ms.Stack(StageIssue)
+	if got := is.Comp[CompBase]; got != 10 {
+		t.Fatalf("issue base with carryover = %v, want 10", got)
+	}
+}
+
+func TestCarryoverDoesNotLeakAcrossStall(t *testing.T) {
+	// A wide burst followed by an empty cycle: the carry fills the next
+	// cycle's base, and the remainder of that cycle is classified.
+	a := newAcct(4)
+	a.Cycle(&CycleSample{DispatchN: 4, IssueN: 6, CommitN: 4})
+	a.Cycle(&CycleSample{DispatchN: 4, IssueN: 0, CommitN: 4, FirstNonReadyClass: ProdDepend})
+	ms := a.Finalize(0)
+	is := ms.Stack(StageIssue)
+	if got := is.Comp[CompBase]; got != 1.5 {
+		t.Fatalf("issue base = %v, want 1.5 (1 + 2/4)", got)
+	}
+	if got := is.Comp[CompDepend]; got != 0.5 {
+		t.Fatalf("issue depend = %v, want 0.5", got)
+	}
+}
+
+func TestOracleWrongPathChargesBpred(t *testing.T) {
+	a := newAcct(4)
+	// Wrong-path uops dispatching, frontend claims non-empty.
+	feed(a, CycleSample{DispatchN: 0, DispatchWrongN: 4, WrongPath: true,
+		IssueN: 0, IssueWrongN: 4, CommitN: 0, ROBEmpty: true, FECause: FEBpred,
+		RSEmpty: false}, 10)
+	ms := a.Finalize(0)
+	if got := ms.Stack(StageDispatch).Comp[CompBpred]; got != 10 {
+		t.Fatalf("oracle dispatch bpred = %v, want 10", got)
+	}
+	if got := ms.Stack(StageIssue).Comp[CompBpred]; got != 10 {
+		t.Fatalf("oracle issue bpred = %v, want 10", got)
+	}
+	// Base stays zero: wrong-path uops are excluded.
+	if got := ms.Stack(StageDispatch).Comp[CompBase]; got != 0 {
+		t.Fatalf("oracle dispatch base = %v, want 0", got)
+	}
+}
+
+func TestSimpleSchemeTransfersBaseSurplus(t *testing.T) {
+	a := NewMultiStageAccountant(Options{Width: 4, Scheme: WrongPathSimple})
+	// 5 cycles full-width correct path at all stages.
+	feed(a, CycleSample{DispatchN: 4, IssueN: 4, CommitN: 4}, 5)
+	// 5 cycles wrong-path dispatch/issue, no commits.
+	feed(a, CycleSample{DispatchWrongN: 4, IssueWrongN: 4, CommitN: 0,
+		ROBEmpty: true, FECause: FEBpred}, 5)
+	ms := a.Finalize(0)
+	d := ms.Stack(StageDispatch)
+	// The simple scheme counted 10 base cycles at dispatch but only 5 at
+	// commit; the surplus 5 must move to Bpred.
+	if got := d.Comp[CompBase]; got != 5 {
+		t.Fatalf("simple dispatch base = %v, want 5", got)
+	}
+	if got := d.Comp[CompBpred]; got != 5 {
+		t.Fatalf("simple dispatch bpred = %v, want 5", got)
+	}
+	if got := ms.Stack(StageCommit).Comp[CompBase]; got != 5 {
+		t.Fatalf("commit base = %v, want 5", got)
+	}
+}
+
+func TestSpeculativeSchemeFoldsSquashToBpred(t *testing.T) {
+	a := NewMultiStageAccountant(Options{Width: 4, Scheme: WrongPathSpeculative})
+	// Correct-path cycle that commits.
+	a.Cycle(&CycleSample{DispatchN: 4, IssueN: 4, CommitN: 4,
+		DispatchYoungest: 3, IssueYoungest: 3, HasCommit: true, CommitThrough: 3})
+	// Wrong-path work, later squashed.
+	wp := uint64(1) << 63
+	feed(a, CycleSample{DispatchWrongN: 4, IssueWrongN: 4, WrongPath: true,
+		DispatchYoungest: wp | 7, IssueYoungest: wp | 7, ROBEmpty: true, FECause: FEBpred}, 3)
+	a.Cycle(&CycleSample{HasSquash: true, SquashAfter: 3, ROBEmpty: true,
+		FEEmpty: true, FECause: FEBpred, RSEmpty: true})
+	ms := a.Finalize(0)
+	d := ms.Stack(StageDispatch)
+	// 3 wrong-path cycles' base (3.0) go to Bpred, plus the stall cycle.
+	if got := d.Comp[CompBase]; got != 1 {
+		t.Fatalf("speculative dispatch base = %v, want 1", got)
+	}
+	if got := d.Comp[CompBpred]; got != 4 {
+		t.Fatalf("speculative dispatch bpred = %v, want 4", got)
+	}
+}
+
+func TestSpeculativeCommitFoldsToOriginalComponents(t *testing.T) {
+	a := NewMultiStageAccountant(Options{Width: 4, Scheme: WrongPathSpeculative})
+	// Stall attributed to uop 5, which later commits: the I-cache
+	// attribution must survive.
+	a.Cycle(&CycleSample{DispatchN: 1, DispatchYoungest: 5, FEEmpty: true,
+		FECause: FEICache, IssueN: 1, IssueYoungest: 5, RSEmpty: true, CommitN: 0, ROBEmpty: true})
+	a.Cycle(&CycleSample{DispatchN: 4, DispatchYoungest: 9, IssueN: 4,
+		IssueYoungest: 9, CommitN: 4, HasCommit: true, CommitThrough: 9})
+	ms := a.Finalize(0)
+	d := ms.Stack(StageDispatch)
+	if got := d.Comp[CompICache]; math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("speculative dispatch icache = %v, want 0.75", got)
+	}
+}
+
+// Property: for any random sample stream, every stage's components sum to
+// the cycle count under every scheme.
+func TestStackSumInvariantProperty(t *testing.T) {
+	f := func(raw []uint8, schemeSel uint8) bool {
+		scheme := WrongPathScheme(schemeSel % 3)
+		a := NewMultiStageAccountant(Options{Width: 4, Scheme: scheme})
+		seq := uint64(0)
+		for _, r := range raw {
+			s := CycleSample{
+				DispatchN: int(r % 5),
+				IssueN:    int((r >> 2) % 5),
+				CommitN:   int((r >> 4) % 5),
+			}
+			seq += uint64(s.DispatchN)
+			s.DispatchYoungest = seq
+			s.IssueYoungest = seq
+			if s.CommitN > 0 {
+				s.HasCommit = true
+				s.CommitThrough = seq
+			}
+			if s.DispatchN == 0 {
+				s.FEEmpty = true
+				s.FECause = FECause(r % 5)
+			}
+			if s.IssueN == 0 {
+				s.FirstNonReadyClass = ProdClass(r % 4)
+			}
+			if s.CommitN == 0 {
+				s.ROBEmpty = r%2 == 0
+				s.ROBHeadNotDone = !s.ROBEmpty
+				s.ROBHeadClass = ProdClass((r >> 1) % 4)
+			}
+			a.Cycle(&s)
+		}
+		ms := a.Finalize(0)
+		for _, st := range Stages() {
+			sum := ms.Stack(st).Sum()
+			if math.Abs(sum-float64(len(raw))) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: components are never negative.
+func TestComponentsNonNegativeProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		a := newAcct(2)
+		for _, r := range raw {
+			s := CycleSample{
+				DispatchN: int(r % 3),
+				IssueN:    int((r >> 2) % 3),
+				CommitN:   int((r >> 4) % 3),
+				FEEmpty:   r%2 == 0,
+				FECause:   FECause(r % 6),
+			}
+			a.Cycle(&s)
+		}
+		ms := a.Finalize(0)
+		for _, st := range Stages() {
+			for c := Component(0); c < NumComponents; c++ {
+				if ms.Stack(st).Comp[c] < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFinalizeInstructionOverride(t *testing.T) {
+	a := newAcct(4)
+	feed(a, CycleSample{DispatchN: 4, IssueN: 4, CommitN: 4}, 10)
+	ms := a.Finalize(80)
+	if ms.Stack(StageDispatch).Instructions != 80 {
+		t.Fatal("explicit instruction count should be used")
+	}
+	ms2 := NewMultiStageAccountant(Options{Width: 4})
+	feed(ms2, CycleSample{DispatchN: 4, IssueN: 4, CommitN: 4}, 10)
+	if got := ms2.Finalize(0).Stack(StageDispatch).Instructions; got != 40 {
+		t.Fatalf("internal instruction count = %d, want 40", got)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if WrongPathOracle.String() != "oracle" || WrongPathSimple.String() != "simple" ||
+		WrongPathSpeculative.String() != "speculative" {
+		t.Fatal("scheme names wrong")
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// KNL-like FLOPS geometry: 2 units x 16 lanes, peak 64 ops/cycle.
+func newFlops() *FLOPSAccountant { return NewFLOPSAccountant(2, 16) }
+
+func TestFLOPSPeakCycle(t *testing.T) {
+	a := newFlops()
+	// Two full FMAs: 2 uops x 16 lanes x 2 ops = 64 = peak.
+	for i := 0; i < 10; i++ {
+		a.Cycle(&CycleSample{VFPIssued: 2, VFPActiveLanes: 32, VFPFlops: 64})
+	}
+	fs := a.Finalize()
+	if got := fs.Comp[FBase]; got != 10 {
+		t.Fatalf("base = %v, want 10", got)
+	}
+	if got := fs.Sum(); got != 10 {
+		t.Fatalf("sum = %v, want 10", got)
+	}
+}
+
+func TestFLOPSNonFMALoss(t *testing.T) {
+	a := newFlops()
+	// Two full vector ADDs: 32 ops of 64 possible; the other half of the
+	// issued slots is the non-FMA loss (Table III line 5).
+	a.Cycle(&CycleSample{VFPIssued: 2, VFPActiveLanes: 32, VFPFlops: 32})
+	fs := a.Finalize()
+	if got := fs.Comp[FBase]; got != 0.5 {
+		t.Fatalf("base = %v, want 0.5", got)
+	}
+	if got := fs.Comp[FNonFMA]; got != 0.5 {
+		t.Fatalf("non-FMA = %v, want 0.5", got)
+	}
+}
+
+func TestFLOPSMaskLoss(t *testing.T) {
+	a := newFlops()
+	// Two FMAs with half the lanes masked: issued-slot value splits between
+	// base and mask (Table III line 7).
+	a.Cycle(&CycleSample{VFPIssued: 2, VFPActiveLanes: 16, VFPFlops: 32})
+	fs := a.Finalize()
+	if got := fs.Comp[FBase]; got != 0.5 {
+		t.Fatalf("base = %v, want 0.5", got)
+	}
+	if got := fs.Comp[FMask]; got != 0.5 {
+		t.Fatalf("mask = %v, want 0.5", got)
+	}
+}
+
+func TestFLOPSFrontendNoVFP(t *testing.T) {
+	a := newFlops()
+	// No VFP in the RS while other instructions flow: frontend component.
+	a.Cycle(&CycleSample{VFPIssued: 0, VFPInRS: false, RSEmpty: false})
+	fs := a.Finalize()
+	if got := fs.Comp[FFrontendNoVFP]; got != 1 {
+		t.Fatalf("frontend-no-VFP = %v, want 1", got)
+	}
+}
+
+func TestFLOPSFrontendMissCauses(t *testing.T) {
+	cases := []struct {
+		cause FECause
+		comp  FLOPSComponent
+	}{
+		{FEICache, FFrontendICache},
+		{FEBpred, FFrontendBpred},
+		{FEMicrocode, FFrontendNoVFP},
+	}
+	for _, c := range cases {
+		a := newFlops()
+		a.Cycle(&CycleSample{VFPIssued: 0, VFPInRS: false, RSEmpty: true, FECause: c.cause})
+		fs := a.Finalize()
+		if got := fs.Comp[c.comp]; got != 1 {
+			t.Errorf("cause %v: %v = %v, want 1", c.cause, c.comp, got)
+		}
+	}
+}
+
+func TestFLOPSNonVFPComponent(t *testing.T) {
+	a := newFlops()
+	// One FMA issued, one unit used by a vector-integer op.
+	a.Cycle(&CycleSample{VFPIssued: 1, VFPActiveLanes: 16, VFPFlops: 32,
+		VFPInRS: true, VUNonVFP: 1})
+	fs := a.Finalize()
+	if got := fs.Comp[FBase]; got != 0.5 {
+		t.Fatalf("base = %v, want 0.5", got)
+	}
+	if got := fs.Comp[FNonVFP]; got != 0.5 {
+		t.Fatalf("non-VFP = %v, want 0.5", got)
+	}
+}
+
+func TestFLOPSMemoryComponent(t *testing.T) {
+	a := newFlops()
+	a.Cycle(&CycleSample{VFPIssued: 0, VFPInRS: true,
+		OldestVFPClass: ProdLongLat, OldestVFPWaitsLoad: true})
+	fs := a.Finalize()
+	if got := fs.Comp[FMem]; got != 1 {
+		t.Fatalf("memory = %v, want 1", got)
+	}
+}
+
+func TestFLOPSDependComponent(t *testing.T) {
+	a := newFlops()
+	a.Cycle(&CycleSample{VFPIssued: 0, VFPInRS: true,
+		OldestVFPClass: ProdDepend})
+	fs := a.Finalize()
+	if got := fs.Comp[FDepend]; got != 1 {
+		t.Fatalf("depend = %v, want 1", got)
+	}
+}
+
+func TestFLOPSStructuralIsOther(t *testing.T) {
+	a := newFlops()
+	// VFP ready (no blamable producer), ports blocked.
+	a.Cycle(&CycleSample{VFPIssued: 0, VFPInRS: true, OldestVFPClass: ProdNone})
+	fs := a.Finalize()
+	if got := fs.Comp[FOther]; got != 1 {
+		t.Fatalf("other = %v, want 1", got)
+	}
+}
+
+func TestFLOPSUnsched(t *testing.T) {
+	a := newFlops()
+	a.Cycle(&CycleSample{Unsched: true})
+	fs := a.Finalize()
+	if got := fs.Comp[FUnsched]; got != 1 {
+		t.Fatalf("unsched = %v, want 1", got)
+	}
+}
+
+func TestFLOPSEquation1(t *testing.T) {
+	a := newFlops()
+	// Half the peak for 100 cycles at 1 GHz: 32 GFLOPS.
+	for i := 0; i < 100; i++ {
+		a.Cycle(&CycleSample{VFPIssued: 1, VFPActiveLanes: 16, VFPFlops: 32, VFPInRS: true,
+			OldestVFPClass: ProdDepend})
+	}
+	fs := a.Finalize()
+	got := fs.AchievedFLOPS(1e9)
+	if math.Abs(got-32e9) > 1 {
+		t.Fatalf("achieved FLOPS = %v, want 32e9", got)
+	}
+	// The stack height is the peak rate.
+	var sum float64
+	for c := FLOPSComponent(0); c < NumFLOPSComponents; c++ {
+		sum += fs.ToFLOPS(c, 1e9)
+	}
+	if math.Abs(sum-64e9) > 1 {
+		t.Fatalf("stack height = %v, want peak 64e9", got)
+	}
+}
+
+func TestFLOPSCountsTotalFLOPs(t *testing.T) {
+	a := newFlops()
+	a.Cycle(&CycleSample{VFPIssued: 2, VFPActiveLanes: 32, VFPFlops: 64})
+	a.Cycle(&CycleSample{VFPIssued: 1, VFPActiveLanes: 16, VFPFlops: 16})
+	fs := a.Finalize()
+	if fs.FLOPs != 80 {
+		t.Fatalf("FLOPs = %d, want 80", fs.FLOPs)
+	}
+}
+
+// Property: the FLOPS stack always sums to the cycle count for any plausible
+// per-cycle VFP shapes.
+func TestFLOPSSumInvariantProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		a := newFlops()
+		for _, r := range raw {
+			n := int(r % 3) // 0..2 uops
+			lanes := 0
+			flops := 0
+			if n > 0 {
+				active := int(r>>2%17) * n // up to 16 per uop
+				if active > 16*n {
+					active = 16 * n
+				}
+				lanes = active
+				// a between 1 and 2 per uop.
+				flops = active + int(r>>7%uint16(active+1))
+				if flops > 2*active {
+					flops = 2 * active
+				}
+			}
+			s := CycleSample{
+				VFPIssued:      n,
+				VFPActiveLanes: lanes,
+				VFPFlops:       flops,
+				VFPInRS:        r&1 == 0,
+				RSEmpty:        r&2 == 0,
+				FECause:        FECause(r % 6),
+				OldestVFPClass: ProdClass(r % 4),
+				VUNonVFP:       int(r >> 9 % 2),
+			}
+			a.Cycle(&s)
+		}
+		fs := a.Finalize()
+		return math.Abs(fs.Sum()-float64(len(raw))) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all FLOPS components are non-negative.
+func TestFLOPSNonNegativeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		a := newFlops()
+		for _, r := range raw {
+			n := int(r % 3)
+			active := n * int(r>>3%17)
+			if active > 16*n {
+				active = 16 * n
+			}
+			a.Cycle(&CycleSample{
+				VFPIssued: n, VFPActiveLanes: active, VFPFlops: active,
+				VFPInRS: r&1 == 0, OldestVFPClass: ProdClass(r % 4),
+			})
+		}
+		fs := a.Finalize()
+		for c := FLOPSComponent(0); c < NumFLOPSComponents; c++ {
+			if fs.Comp[c] < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAverageFLOPSStacks(t *testing.T) {
+	a := FLOPSStack{Cycles: 100, K: 2, V: 16, FLOPs: 1000}
+	a.Comp[FBase] = 60
+	a.Comp[FMem] = 40
+	b := FLOPSStack{Cycles: 200, K: 2, V: 16, FLOPs: 3000}
+	b.Comp[FBase] = 100
+	b.Comp[FMem] = 100
+	avg := AverageFLOPSStacks([]FLOPSStack{a, b})
+	if avg.Comp[FBase] != 80 || avg.Comp[FMem] != 70 {
+		t.Fatalf("averaged comps = %v/%v, want 80/70", avg.Comp[FBase], avg.Comp[FMem])
+	}
+	if avg.Cycles != 150 {
+		t.Fatalf("averaged cycles = %d, want 150", avg.Cycles)
+	}
+	if AverageFLOPSStacks(nil).Cycles != 0 {
+		t.Fatal("empty average should be zero")
+	}
+}
+
+func TestFrontendTotal(t *testing.T) {
+	var fs FLOPSStack
+	fs.Comp[FFrontendNoVFP] = 1
+	fs.Comp[FFrontendICache] = 2
+	fs.Comp[FFrontendBpred] = 3
+	if fs.FrontendTotal() != 6 {
+		t.Fatal("FrontendTotal should sum the three frontend subcomponents")
+	}
+}
+
+func TestFLOPSStackString(t *testing.T) {
+	a := newFlops()
+	a.Cycle(&CycleSample{VFPIssued: 2, VFPActiveLanes: 32, VFPFlops: 64})
+	fs := a.Finalize()
+	if s := fs.String(); s == "" {
+		t.Fatal("String should render something")
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMemDepthBucketsCommit(t *testing.T) {
+	a := NewMemDepthAccountant(4)
+	mk := func(depth uint8) CycleSample {
+		return CycleSample{
+			CommitN: 0, ROBHeadNotDone: true, ROBHeadClass: ProdDCache,
+			ROBHeadMissDepth: depth, IssueN: 4,
+		}
+	}
+	for i := 0; i < 4; i++ {
+		s := mk(1)
+		a.Cycle(&s)
+	}
+	for i := 0; i < 2; i++ {
+		s := mk(3)
+		a.Cycle(&s)
+	}
+	m := a.Finalize()
+	if m.Commit[MemL2] != 4 || m.Commit[MemDRAM] != 2 {
+		t.Fatalf("commit buckets = %+v", m.Commit)
+	}
+	if m.Commit[MemL3] != 0 || m.Commit[MemL1] != 0 {
+		t.Fatalf("unexpected buckets: %+v", m.Commit)
+	}
+}
+
+func TestMemDepthBucketsIssue(t *testing.T) {
+	a := NewMemDepthAccountant(4)
+	s := CycleSample{CommitN: 4, IssueN: 1,
+		FirstNonReadyClass: ProdDCache, FirstNonReadyMissDepth: 2}
+	for i := 0; i < 8; i++ {
+		a.Cycle(&s)
+	}
+	m := a.Finalize()
+	if math.Abs(m.Issue[MemL3]-6) > 1e-12 { // 8 cycles x 0.75 stall
+		t.Fatalf("issue L3 bucket = %v, want 6", m.Issue[MemL3])
+	}
+}
+
+func TestMemDepthIgnoresNonDCacheStalls(t *testing.T) {
+	a := NewMemDepthAccountant(4)
+	s := CycleSample{CommitN: 0, ROBHeadNotDone: true, ROBHeadClass: ProdLongLat,
+		IssueN: 0, FirstNonReadyClass: ProdDepend}
+	for i := 0; i < 5; i++ {
+		a.Cycle(&s)
+	}
+	m := a.Finalize()
+	if m.CommitTotal() != 0 || m.IssueTotal() != 0 {
+		t.Fatal("non-D-cache stalls must not enter the breakdown")
+	}
+}
+
+func TestMemDepthMatchesMainAccountantDCache(t *testing.T) {
+	// The breakdown must sum to the main accountant's D-cache components
+	// when driven with the same samples.
+	main := NewMultiStageAccountant(Options{Width: 4})
+	depth := NewMemDepthAccountant(4)
+	samples := []CycleSample{
+		{DispatchN: 4, IssueN: 4, CommitN: 4},
+		{DispatchN: 4, IssueN: 1, CommitN: 0, ROBHeadNotDone: true,
+			ROBHeadClass: ProdDCache, ROBHeadMissDepth: 3,
+			FirstNonReadyClass: ProdDCache, FirstNonReadyMissDepth: 1},
+		{DispatchN: 4, IssueN: 0, CommitN: 2, ROBHeadNotDone: true,
+			ROBHeadClass: ProdDCache, ROBHeadMissDepth: 2,
+			FirstNonReadyClass: ProdDCache, FirstNonReadyMissDepth: 2},
+		{DispatchN: 4, IssueN: 4, CommitN: 4},
+	}
+	for i := range samples {
+		main.Cycle(&samples[i])
+		depth.Cycle(&samples[i])
+	}
+	ms := main.Finalize(0)
+	bd := depth.Finalize()
+	if math.Abs(bd.CommitTotal()-ms.Stack(StageCommit).Comp[CompDCache]) > 1e-9 {
+		t.Fatalf("commit breakdown %v != main D-cache %v",
+			bd.CommitTotal(), ms.Stack(StageCommit).Comp[CompDCache])
+	}
+	if math.Abs(bd.IssueTotal()-ms.Stack(StageIssue).Comp[CompDCache]) > 1e-9 {
+		t.Fatalf("issue breakdown %v != main D-cache %v",
+			bd.IssueTotal(), ms.Stack(StageIssue).Comp[CompDCache])
+	}
+}
+
+func TestMemDepthUnschedSkipped(t *testing.T) {
+	a := NewMemDepthAccountant(2)
+	s := CycleSample{Unsched: true, ROBHeadNotDone: true, ROBHeadClass: ProdDCache}
+	a.Cycle(&s)
+	if a.Finalize().CommitTotal() != 0 {
+		t.Fatal("unsched cycles do not belong in the memory breakdown")
+	}
+}
+
+func TestMemLevelNames(t *testing.T) {
+	for l := MemLevel(0); l < NumMemLevels; l++ {
+		if l.String() == "mem?" {
+			t.Errorf("level %d unnamed", l)
+		}
+	}
+	if levelOfDepth(0) != MemL1 || levelOfDepth(1) != MemL2 ||
+		levelOfDepth(2) != MemL3 || levelOfDepth(3) != MemDRAM || levelOfDepth(7) != MemDRAM {
+		t.Fatal("depth mapping wrong")
+	}
+}
+
+func TestMemDepthString(t *testing.T) {
+	a := NewMemDepthAccountant(2)
+	s := CycleSample{CommitN: 0, ROBHeadNotDone: true, ROBHeadClass: ProdDCache, ROBHeadMissDepth: 3, IssueN: 2}
+	a.Cycle(&s)
+	m := a.Finalize()
+	if m.String() == "" {
+		t.Fatal("String should render")
+	}
+}

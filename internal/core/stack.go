@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stack is one measured CPI stack: per-component cycle counts accumulated at
+// one pipeline stage. The invariant Σ Comp = Cycles holds exactly (enforced
+// by the accountants and checked by property tests). Views derive the CPI
+// stack (divide by instructions) and the IPC stack (normalize by cycles and
+// scale by the maximum IPC) from the same counters, as §V-B describes.
+type Stack struct {
+	// Stage is the pipeline stage the stack was measured at.
+	Stage Stage
+	// Width is the normalization width W (minimum of all stage widths).
+	Width int
+	// Comp holds per-component cycle counts.
+	Comp [NumComponents]float64
+	// Cycles is the total simulated cycles.
+	Cycles int64
+	// Instructions is the number of committed correct-path uops.
+	Instructions uint64
+}
+
+// TotalCPI returns cycles per instruction.
+func (s *Stack) TotalCPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// IPC returns instructions per cycle.
+func (s *Stack) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// CPI returns the CPI contribution of one component.
+func (s *Stack) CPI(c Component) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return s.Comp[c] / float64(s.Instructions)
+}
+
+// CPIs returns all per-component CPI contributions in stack order.
+func (s *Stack) CPIs() [NumComponents]float64 {
+	var out [NumComponents]float64
+	for c := range out {
+		out[c] = s.CPI(Component(c))
+	}
+	return out
+}
+
+// Normalized returns the component's fraction of total cycles (all
+// components sum to 1).
+func (s *Stack) Normalized(c Component) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return s.Comp[c] / float64(s.Cycles)
+}
+
+// IPCStack returns the IPC-stack value for a component: the same counters
+// divided by cycles and multiplied by the maximum IPC, so the stack's
+// height is the maximum IPC and the base component is the achieved IPC.
+func (s *Stack) IPCStack(c Component) float64 {
+	return s.Normalized(c) * float64(s.Width)
+}
+
+// Sum returns Σ components in cycles (should equal Cycles).
+func (s *Stack) Sum() float64 {
+	var t float64
+	for _, v := range s.Comp {
+		t += v
+	}
+	return t
+}
+
+// String renders a one-line summary, e.g. for logs and tests.
+func (s *Stack) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s CPI=%.3f [", s.Stage, s.TotalCPI())
+	first := true
+	for c := Component(0); c < NumComponents; c++ {
+		v := s.CPI(c)
+		if v < 0.0005 && c != CompBase {
+			continue
+		}
+		if !first {
+			b.WriteString(" ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%.3f", c, v)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// MultiStack bundles the stacks measured simultaneously at all stages —
+// the paper's multi-stage CPI stack representation.
+type MultiStack struct {
+	Stacks [NumStages]Stack
+}
+
+// Stack returns the stack measured at the given stage.
+func (m *MultiStack) Stack(st Stage) *Stack { return &m.Stacks[st] }
+
+// ComponentRange returns the minimum and maximum CPI contribution of a
+// component across the three stages: the paper's lower and upper bound on
+// the gain from idealizing that component.
+func (m *MultiStack) ComponentRange(c Component) (lo, hi float64) {
+	lo = m.Stacks[0].CPI(c)
+	hi = lo
+	for st := Stage(1); st < NumStages; st++ {
+		v := m.Stacks[st].CPI(c)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Bounds reports whether actual lies within the multi-stage component range,
+// and the error to the closest bound when it does not (0 when inside). This
+// is the paper's Figure 2 "error" definition for the multi-stage stack.
+func (m *MultiStack) Bounds(c Component, actual float64) (inside bool, err float64) {
+	lo, hi := m.ComponentRange(c)
+	if actual >= lo && actual <= hi {
+		return true, 0
+	}
+	if actual < lo {
+		return false, actual - lo
+	}
+	return false, actual - hi
+}
+
+// AverageStacks returns the component-wise average of stacks measured at the
+// same stage, as the paper does to aggregate homogeneous SMP threads
+// ("we aggregate the CPI stacks by averaging them component per component").
+func AverageStacks(stacks []Stack) Stack {
+	if len(stacks) == 0 {
+		return Stack{}
+	}
+	out := Stack{Stage: stacks[0].Stage, Width: stacks[0].Width}
+	var cyc float64
+	var ins float64
+	for i := range stacks {
+		for c := range out.Comp {
+			out.Comp[c] += stacks[i].Comp[c]
+		}
+		cyc += float64(stacks[i].Cycles)
+		ins += float64(stacks[i].Instructions)
+	}
+	n := float64(len(stacks))
+	for c := range out.Comp {
+		out.Comp[c] /= n
+	}
+	out.Cycles = int64(cyc/n + 0.5)
+	out.Instructions = uint64(ins/n + 0.5)
+	return out
+}
+
+// TopComponents returns the non-base components sorted by descending CPI
+// contribution (useful for reports).
+func (s *Stack) TopComponents() []Component {
+	comps := make([]Component, 0, NumComponents-1)
+	for c := Component(0); c < NumComponents; c++ {
+		if c != CompBase {
+			comps = append(comps, c)
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		return s.Comp[comps[i]] > s.Comp[comps[j]]
+	})
+	return comps
+}

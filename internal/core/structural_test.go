@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStructuralPortBucket(t *testing.T) {
+	a := NewStructuralAccountant(4)
+	s := CycleSample{IssueN: 1, FirstNonReadyClass: ProdNone, IssueBlockedPort: true}
+	for i := 0; i < 8; i++ {
+		a.Cycle(&s)
+	}
+	st := a.Finalize()
+	if math.Abs(st.Cause[StructPort]-6) > 1e-12 {
+		t.Fatalf("port bucket = %v, want 6", st.Cause[StructPort])
+	}
+}
+
+func TestStructuralMemOrderBucketWinsOverPort(t *testing.T) {
+	a := NewStructuralAccountant(4)
+	s := CycleSample{IssueN: 0, FirstNonReadyClass: ProdNone,
+		IssueBlockedPort: true, IssueBlockedMemOrder: true}
+	a.Cycle(&s)
+	st := a.Finalize()
+	if st.Cause[StructMemOrder] != 1 || st.Cause[StructPort] != 0 {
+		t.Fatalf("buckets = %+v", st.Cause)
+	}
+}
+
+func TestStructuralSkipsProducerStalls(t *testing.T) {
+	a := NewStructuralAccountant(4)
+	s := CycleSample{IssueN: 0, FirstNonReadyClass: ProdDCache, IssueBlockedPort: true}
+	a.Cycle(&s)
+	if a.Finalize().Total() != 0 {
+		t.Fatal("producer-attributed stalls are not structural")
+	}
+}
+
+func TestStructuralSkipsRSEmpty(t *testing.T) {
+	a := NewStructuralAccountant(4)
+	s := CycleSample{IssueN: 0, RSEmpty: true}
+	a.Cycle(&s)
+	if a.Finalize().Total() != 0 {
+		t.Fatal("frontend-caused stalls are not structural")
+	}
+}
+
+func TestStructuralOtherFallback(t *testing.T) {
+	a := NewStructuralAccountant(2)
+	s := CycleSample{IssueN: 0, FirstNonReadyClass: ProdNone}
+	a.Cycle(&s)
+	st := a.Finalize()
+	if st.Cause[StructOther] != 1 {
+		t.Fatalf("other bucket = %v", st.Cause[StructOther])
+	}
+	if st.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestStructuralNames(t *testing.T) {
+	for c := StructuralCause(0); c < NumStructuralCauses; c++ {
+		if c.String() == "struct?" {
+			t.Errorf("cause %d unnamed", c)
+		}
+	}
+	empty := StructuralStack{}
+	if empty.String() != "issue structural stalls: none" {
+		t.Fatalf("empty render = %q", empty.String())
+	}
+}

@@ -1,0 +1,622 @@
+package cpu
+
+import (
+	"perfstacks/internal/bpred"
+	"perfstacks/internal/cache"
+	"perfstacks/internal/core"
+	"perfstacks/internal/trace"
+)
+
+// Accountant consumes one CycleSample per simulated cycle. Both the CPI
+// stack and FLOPS stack accountants implement it.
+type Accountant interface {
+	Cycle(*core.CycleSample)
+}
+
+// Stats aggregates run statistics beyond what the accountants measure.
+type Stats struct {
+	Cycles        int64
+	Committed     uint64
+	Loads         uint64
+	Stores        uint64
+	Branches      uint64
+	Mispredicts   uint64
+	WrongPathUops uint64
+	SquashedUops  uint64
+	VFPUops       uint64
+	FLOPs         uint64
+	BarrierWaits  int64
+	// ICacheStallCycles is the total fetch stall time due to I-cache misses.
+	ICacheStallCycles int64
+}
+
+// IPC returns committed uops per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// CPI returns cycles per committed uop.
+func (s Stats) CPI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Committed)
+}
+
+// Core is one out-of-order core instance bound to a trace, a cache
+// hierarchy and a branch predictor.
+type Core struct {
+	p    Params
+	fe   *frontend
+	rob  *rob
+	sb   *scoreboard
+	hier *cache.Hierarchy
+
+	rs []int // ROB slot indices awaiting issue, in age order
+
+	// pendingStores tracks in-flight stores for memory disambiguation:
+	// a load may not issue while an older store to the same line is not
+	// complete. Entries are appended at dispatch and pruned lazily.
+	pendingStores []pendingStore
+
+	divBusyUntil []int64 // non-pipelined divide units (the IntMulDiv pool)
+
+	now       int64
+	finished  bool
+	sample    core.CycleSample
+	accts     []Accountant
+	lastDisp  uint64
+	lastIssue uint64
+
+	hasResolve bool
+	resolveAt  int64
+	resolveSeq uint64
+
+	// Barrier / SMP state.
+	yielded         bool
+	barrierReleased bool
+	barrierWaiter   func(*Core)
+	// BarrierCount is the number of barriers this core has reached.
+	BarrierCount int
+
+	// warmupLeft suppresses accounting samples for the first N committed
+	// uops (cache/predictor warm-up, mirroring the paper's fast-forward).
+	warmupLeft uint64
+
+	// Stats accumulates run statistics.
+	Stats Stats
+}
+
+// New builds a core. The trace reader supplies correct-path uops; the
+// hierarchy and predictor may be shared across runs but must be Reset by the
+// caller between runs.
+func New(p Params, hier *cache.Hierarchy, pred bpred.Predictor, tr trace.Reader) *Core {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	nDiv := p.IntMulDivs
+	if nDiv < 1 {
+		nDiv = 1
+	}
+	return &Core{
+		p:            p,
+		fe:           newFrontend(&p, tr, hier, pred),
+		rob:          newROB(p.ROBSize),
+		sb:           newScoreboard(p.ROBSize),
+		hier:         hier,
+		rs:           make([]int, 0, p.RSSize),
+		divBusyUntil: make([]int64, nDiv),
+	}
+}
+
+// Params returns the core configuration.
+func (c *Core) Params() Params { return c.p }
+
+// Attach registers accountants that receive one sample per cycle.
+func (c *Core) Attach(accts ...Accountant) { c.accts = append(c.accts, accts...) }
+
+// SetWarmup suppresses accounting (and the cycle/instruction counters the
+// accountants see) until n uops have committed, mirroring the paper's
+// fast-forward phase that warms caches and predictors before detailed
+// measurement.
+func (c *Core) SetWarmup(n uint64) { c.warmupLeft = n }
+
+// Warm reports whether warm-up has completed.
+func (c *Core) Warm() bool { return c.warmupLeft == 0 }
+
+// Now returns the current cycle.
+func (c *Core) Now() int64 { return c.now }
+
+// Finished reports whether the trace has fully committed.
+func (c *Core) Finished() bool { return c.finished }
+
+// SetBarrierWaiter installs the SMP harness callback invoked when the core
+// reaches a barrier uop at commit. Without a waiter, barriers commit like
+// ordinary uops.
+func (c *Core) SetBarrierWaiter(fn func(*Core)) { c.barrierWaiter = fn }
+
+// ReleaseBarrier lets a yielded core proceed past its barrier.
+func (c *Core) ReleaseBarrier() {
+	c.yielded = false
+	c.barrierReleased = true
+}
+
+// Yielded reports whether the core is waiting at a barrier.
+func (c *Core) Yielded() bool { return c.yielded }
+
+// Step advances the core by one cycle. It returns false once the core has
+// finished (trace drained and pipeline empty).
+func (c *Core) Step() bool {
+	if c.finished {
+		return false
+	}
+
+	s := &c.sample
+	*s = core.CycleSample{
+		Cycle:            c.now,
+		DispatchYoungest: c.lastDisp,
+		IssueYoungest:    c.lastIssue,
+	}
+
+	if c.yielded {
+		s.Unsched = true
+		s.FECause = core.FEUnsched
+		s.RSEmpty = len(c.rs) == 0
+		s.ROBEmpty = c.rob.empty()
+		s.FEEmpty = true
+		c.Stats.BarrierWaits++
+		c.emit(s)
+		c.now++
+		c.Stats.Cycles = c.now
+		return true
+	}
+
+	// 1. Branch resolution: squash the wrong path and redirect fetch.
+	if c.hasResolve && c.now >= c.resolveAt {
+		c.squashWrongPath()
+		s.HasSquash = true
+		s.SquashAfter = c.resolveSeq
+		c.fe.resolve(c.now)
+		c.hasResolve = false
+	}
+
+	// 2. Commit stage.
+	c.commit(s)
+
+	// 3. Issue stage.
+	c.issue(s)
+
+	// 4. Dispatch stage.
+	c.dispatch(s)
+
+	// 5. Fetch/decode refills the queue for next cycle.
+	if !c.yielded {
+		n, qFull := c.fe.fill(c.now)
+		s.FetchN = n
+		s.FetchQueueFull = qFull
+		s.FetchCause = c.fe.cause()
+	}
+
+	c.emit(s)
+	c.now++
+	c.Stats.Cycles = c.now
+
+	c.Stats.ICacheStallCycles = c.fe.icacheStalls
+	if c.fe.exhausted() && c.rob.empty() {
+		c.finished = true
+	}
+	return !c.finished
+}
+
+func (c *Core) emit(s *core.CycleSample) {
+	if c.warmupLeft > 0 {
+		n := uint64(s.CommitN)
+		if n >= c.warmupLeft {
+			c.warmupLeft = 0
+		} else {
+			c.warmupLeft -= n
+		}
+		return
+	}
+	for _, a := range c.accts {
+		a.Cycle(s)
+	}
+}
+
+// commit retires up to CommitWidth finished uops in order.
+func (c *Core) commit(s *core.CycleSample) {
+	for n := 0; n < c.p.CommitWidth; n++ {
+		h := c.rob.headEntry()
+		if h == nil {
+			break
+		}
+		if !h.doneBy(c.now) {
+			break
+		}
+		if h.u.Op == trace.OpBarrier && c.barrierWaiter != nil && !c.barrierReleased {
+			c.yielded = true
+			c.BarrierCount++
+			c.barrierWaiter(c)
+			break
+		}
+		if h.u.Op == trace.OpBarrier {
+			c.barrierReleased = false
+		}
+		seq := h.u.Seq
+		c.sb.retire(seq)
+		c.rob.pop()
+		c.Stats.Committed++
+		s.CommitN++
+		s.HasCommit = true
+		s.CommitThrough = seq
+	}
+
+	s.ROBEmpty = c.rob.empty()
+	if h := c.rob.headEntry(); h != nil {
+		s.ROBHeadNotDone = !h.doneBy(c.now)
+		s.ROBHeadClass = classify(h)
+		s.ROBHeadMissDepth = h.missDepth
+	}
+}
+
+// pendingStore is one in-flight store hazard.
+type pendingStore struct {
+	seq    uint64
+	line   uint64
+	doneAt int64 // math.MaxInt64 until issued
+	issued bool
+}
+
+// portsInUse tracks per-cycle functional unit availability.
+type portsInUse struct {
+	alu, muldiv, load, store, vfp int
+}
+
+// issue scans the reservation stations oldest-first, issuing ready uops to
+// available ports, and gathers the issue-stage and VFP accounting signals.
+func (c *Core) issue(s *core.CycleSample) {
+	var ports portsInUse
+	issued := 0
+	kept := c.rs[:0]
+	foundNonReady := false
+	var oldestVFPSeen bool
+
+	for _, slot := range c.rs {
+		e := c.rob.at(slot)
+
+		if issued >= c.p.IssueWidth {
+			kept = append(kept, slot)
+			c.noteWaiting(s, e, &oldestVFPSeen, core.ProdNone, false)
+			continue
+		}
+
+		readyAt, ok := c.srcReady(e)
+		if !ok || readyAt > c.now {
+			// Not ready: record the first non-ready entry's producer class
+			// (Table II issue column) and the oldest waiting VFP uop
+			// (Table III).
+			cls, isLoad, depth := c.blamedProducer(e)
+			if !foundNonReady {
+				foundNonReady = true
+				s.FirstNonReadyClass = cls
+				s.FirstNonReadyMissDepth = depth
+			}
+			c.noteWaiting(s, e, &oldestVFPSeen, cls, isLoad)
+			kept = append(kept, slot)
+			continue
+		}
+
+		if c.p.MemDisambiguation && e.u.Op == trace.OpLoad && c.memConflict(e) {
+			// Load blocked behind an older in-flight store to its line: the
+			// issue-only "memory address conflict" structural stall.
+			if !s.IssueBlockedPort && !s.IssueBlockedMemOrder {
+				s.IssueBlockedMemOrder = true
+			}
+			c.noteWaiting(s, e, &oldestVFPSeen, core.ProdNone, false)
+			kept = append(kept, slot)
+			continue
+		}
+
+		if !c.portFree(&ports, e.u.Op) {
+			// Ready but structurally blocked: stays in the RS; if it is the
+			// oldest waiting entry the stall is structural (ProdNone).
+			if !s.IssueBlockedPort && !s.IssueBlockedMemOrder {
+				s.IssueBlockedPort = true
+			}
+			c.noteWaiting(s, e, &oldestVFPSeen, core.ProdNone, false)
+			kept = append(kept, slot)
+			continue
+		}
+
+		c.execute(s, e)
+		issued++
+	}
+	c.rs = kept
+
+	s.RSEmpty = len(c.rs) == 0
+	c.lastIssue = s.IssueYoungest
+}
+
+// noteWaiting records Table III's oldest-waiting-VFP signals for an entry
+// that stays in the RS this cycle.
+func (c *Core) noteWaiting(s *core.CycleSample, e *robEntry, oldestSeen *bool, cls core.ProdClass, producerIsLoad bool) {
+	if !e.u.Op.IsVFP() {
+		return
+	}
+	s.VFPInRS = true
+	if *oldestSeen {
+		return
+	}
+	*oldestSeen = true
+	s.OldestVFPClass = cls
+	s.OldestVFPWaitsLoad = producerIsLoad
+}
+
+// srcReady returns the cycle all source operands are available; ok=false
+// when some producer has not yet issued.
+func (c *Core) srcReady(e *robEntry) (int64, bool) {
+	var latest int64
+	for _, src := range e.u.Src {
+		if src == trace.NoProducer {
+			continue
+		}
+		t, ok := c.sb.readyAt(src)
+		if !ok {
+			return 0, false
+		}
+		if t > latest {
+			latest = t
+		}
+	}
+	return latest, true
+}
+
+// blamedProducer finds the producer to blame for e not being ready: the
+// first source operand that is not available this cycle.
+func (c *Core) blamedProducer(e *robEntry) (core.ProdClass, bool, uint8) {
+	for _, src := range e.u.Src {
+		if src == trace.NoProducer {
+			continue
+		}
+		t, ok := c.sb.readyAt(src)
+		if !ok || t > c.now {
+			return c.sb.producerClassDepth(src)
+		}
+	}
+	return core.ProdDepend, false, 0
+}
+
+// portFree checks and claims a functional-unit port for op.
+func (c *Core) portFree(ports *portsInUse, op trace.Op) bool {
+	switch op {
+	case trace.OpLoad:
+		if ports.load >= c.p.LoadPorts {
+			return false
+		}
+		ports.load++
+	case trace.OpStore:
+		if ports.store >= c.p.StorePorts {
+			return false
+		}
+		ports.store++
+	case trace.OpMul, trace.OpDiv:
+		if ports.muldiv >= c.p.IntMulDivs {
+			return false
+		}
+		if op == trace.OpDiv {
+			// Divides are not pipelined: need a unit whose divider is free.
+			unit := -1
+			for i := range c.divBusyUntil {
+				if c.divBusyUntil[i] <= c.now {
+					unit = i
+					break
+				}
+			}
+			if unit < 0 {
+				return false
+			}
+			c.divBusyUntil[unit] = c.now + c.p.latency(trace.OpDiv)
+		}
+		ports.muldiv++
+	case trace.OpFPAdd, trace.OpFPMul, trace.OpFPDiv, trace.OpFMA, trace.OpVInt:
+		if ports.vfp >= c.p.VFPUnits {
+			return false
+		}
+		ports.vfp++
+	case trace.OpBroadcast:
+		// Memory-broadcast form: executes on a load port.
+		if ports.load >= c.p.LoadPorts {
+			return false
+		}
+		ports.load++
+	default: // ALU, branches, nops, barriers
+		if ports.alu >= c.p.IntALUs {
+			return false
+		}
+		ports.alu++
+	}
+	return true
+}
+
+// memConflict reports whether an older in-flight store to the load's line
+// has not yet completed; completed and squashed entries are pruned.
+func (c *Core) memConflict(load *robEntry) bool {
+	line := load.u.Addr >> 6
+	kept := c.pendingStores[:0]
+	conflict := false
+	for _, ps := range c.pendingStores {
+		if ps.issued && ps.doneAt <= c.now {
+			continue // store complete: no longer a hazard
+		}
+		kept = append(kept, ps)
+		if ps.line == line && older(ps.seq, load.u.Seq) {
+			conflict = true
+		}
+	}
+	c.pendingStores = kept
+	return conflict
+}
+
+// older orders sequence numbers across the correct-path and wrong-path
+// spaces: wrong-path uops are always younger than correct-path ones in the
+// window (they were fetched after the mispredicted branch).
+func older(a, b uint64) bool {
+	aw, bw := a&wpBit != 0, b&wpBit != 0
+	if aw != bw {
+		return !aw // correct-path is older than wrong-path
+	}
+	return a < b
+}
+
+// execute issues one ready uop to its functional unit.
+func (c *Core) execute(s *core.CycleSample, e *robEntry) {
+	var doneAt int64
+	var miss bool
+	switch e.u.Op {
+	case trace.OpLoad:
+		var depth int
+		doneAt, depth = c.hier.DataDepth(e.u.Addr, c.now, false)
+		miss = depth > 0
+		e.lat = doneAt - c.now
+		e.dcacheMiss = miss
+		e.missDepth = uint8(depth)
+		if !e.u.WrongPath {
+			c.Stats.Loads++
+		}
+	case trace.OpStore:
+		// Stores complete into the store buffer; the cache access charges
+		// hierarchy state (fills, MSHRs, bandwidth) without blocking retire.
+		c.hier.Data(e.u.Addr, c.now, true)
+		doneAt = c.now + c.p.Lat.Store
+		if c.p.MemDisambiguation {
+			for i := range c.pendingStores {
+				if c.pendingStores[i].seq == e.u.Seq {
+					c.pendingStores[i].issued = true
+					c.pendingStores[i].doneAt = doneAt
+					break
+				}
+			}
+		}
+		if !e.u.WrongPath {
+			c.Stats.Stores++
+		}
+	default:
+		doneAt = c.now + e.lat
+	}
+	e.issued = true
+	e.doneAt = doneAt
+	c.sb.issue(e.u.Seq, doneAt, e.lat, miss, e.missDepth)
+
+	if e.mispredict {
+		c.hasResolve = true
+		c.resolveAt = doneAt
+		c.resolveSeq = e.u.Seq
+	}
+
+	if e.u.WrongPath {
+		s.IssueWrongN++
+		s.IssueYoungest = e.u.Seq
+		return
+	}
+	s.IssueN++
+	s.IssueYoungest = e.u.Seq
+
+	if e.u.Op.IsVFP() {
+		s.VFPIssued++
+		s.VFPActiveLanes += e.u.ActiveLanes()
+		s.VFPFlops += e.u.FLOPs()
+		c.Stats.VFPUops++
+		c.Stats.FLOPs += uint64(e.u.FLOPs())
+	} else if e.u.Op.UsesVectorUnit() {
+		s.VUNonVFP++
+	}
+}
+
+// dispatch moves decoded uops into the ROB and reservation stations.
+func (c *Core) dispatch(s *core.CycleSample) {
+	for n := 0; n < c.p.DispatchWidth; n++ {
+		if c.rob.full() {
+			s.ROBFull = true
+			break
+		}
+		if len(c.rs) >= c.p.RSSize {
+			s.RSFull = true
+			break
+		}
+		fe, ok := c.fe.pop()
+		if !ok {
+			s.FEEmpty = true
+			break
+		}
+		u := fe.u
+		e := robEntry{
+			u:          u,
+			lat:        c.p.latency(u.Op),
+			mispredict: fe.mispredict,
+		}
+		slot := c.rob.push(e)
+		c.sb.allocate(u.Seq, u.Op == trace.OpLoad)
+		c.rs = append(c.rs, slot)
+		if c.p.MemDisambiguation && u.Op == trace.OpStore {
+			c.pendingStores = append(c.pendingStores, pendingStore{
+				seq: u.Seq, line: u.Addr >> 6,
+			})
+		}
+
+		if u.WrongPath {
+			s.DispatchWrongN++
+			c.Stats.WrongPathUops++
+		} else {
+			s.DispatchN++
+			if u.Op.IsBranch() {
+				c.Stats.Branches++
+			}
+			if fe.mispredict {
+				c.Stats.Mispredicts++
+			}
+		}
+		s.DispatchYoungest = u.Seq
+		c.lastDisp = u.Seq
+	}
+
+	s.FECause = c.fe.cause()
+	s.WrongPath = c.fe.wrongPath
+}
+
+// squashWrongPath removes wrong-path uops from the ROB, the reservation
+// stations and the decoded queue when a mispredicted branch resolves.
+func (c *Core) squashWrongPath() {
+	removed := c.rob.popTailWrongPath()
+	c.Stats.SquashedUops += uint64(removed)
+	if removed > 0 && len(c.pendingStores) > 0 {
+		kept := c.pendingStores[:0]
+		for _, ps := range c.pendingStores {
+			if ps.seq&wpBit != 0 {
+				continue
+			}
+			kept = append(kept, ps)
+		}
+		c.pendingStores = kept
+	}
+	if removed > 0 {
+		kept := c.rs[:0]
+		for _, slot := range c.rs {
+			if c.rob.at(slot).u.WrongPath {
+				continue
+			}
+			kept = append(kept, slot)
+		}
+		c.rs = kept
+	}
+	c.fe.squashQueue()
+}
+
+// Run steps the core to completion and returns its statistics.
+func (c *Core) Run() Stats {
+	for c.Step() {
+	}
+	return c.Stats
+}

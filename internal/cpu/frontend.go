@@ -1,0 +1,244 @@
+package cpu
+
+import (
+	"perfstacks/internal/bpred"
+	"perfstacks/internal/cache"
+	"perfstacks/internal/core"
+	"perfstacks/internal/trace"
+)
+
+// feEntry is one decoded uop waiting for dispatch.
+type feEntry struct {
+	u          trace.Uop
+	mispredict bool
+}
+
+// frontend models fetch, branch prediction and decode. It fills a decoded
+// uop queue each cycle; dispatch drains it. The frontend exposes the cause
+// it is currently blocked on (I-cache miss, branch redirect, microcode
+// decode, trace drained) so the accountants can attribute frontend stalls
+// per Table II.
+type frontend struct {
+	p    *Params
+	tr   trace.Reader
+	hier *cache.Hierarchy
+	pred bpred.Predictor
+
+	queue []feEntry
+	qHead int
+	qLen  int
+
+	pendingUop trace.Uop
+	hasPending bool
+	drained    bool
+
+	curLine    uint64
+	haveLine   bool
+	stallUntil int64
+	stallCause core.FECause
+
+	// Wrong-path state: set when a mispredicted branch has been delivered
+	// and not yet resolved.
+	wrongPath bool
+	// synth state for wrong-path uop generation
+	wpSeq uint64
+	wpRNG uint64
+
+	// Stats
+	icacheStalls int64
+}
+
+func newFrontend(p *Params, tr trace.Reader, hier *cache.Hierarchy, pred bpred.Predictor) *frontend {
+	return &frontend{
+		p:     p,
+		tr:    tr,
+		hier:  hier,
+		pred:  pred,
+		queue: make([]feEntry, p.FEQueueSize),
+		wpRNG: 0x9e3779b97f4a7c15,
+	}
+}
+
+func (f *frontend) queueEmpty() bool { return f.qLen == 0 }
+func (f *frontend) queueFull() bool  { return f.qLen == len(f.queue) }
+
+func (f *frontend) push(e feEntry) {
+	f.queue[(f.qHead+f.qLen)%len(f.queue)] = e
+	f.qLen++
+}
+
+// pop removes the next decoded uop; ok=false when the queue is empty.
+func (f *frontend) pop() (feEntry, bool) {
+	if f.qLen == 0 {
+		return feEntry{}, false
+	}
+	e := f.queue[f.qHead]
+	f.qHead = (f.qHead + 1) % len(f.queue)
+	f.qLen--
+	return e, true
+}
+
+// cause reports why the frontend cannot deliver more uops right now.
+func (f *frontend) cause() core.FECause {
+	if f.wrongPath {
+		return core.FEBpred
+	}
+	if f.stallCause != core.FENone {
+		return f.stallCause
+	}
+	if f.drained && !f.hasPending {
+		return core.FEDrained
+	}
+	return core.FENone
+}
+
+// next peeks the next correct-path trace uop.
+func (f *frontend) next() (trace.Uop, bool) {
+	if f.hasPending {
+		return f.pendingUop, true
+	}
+	if f.drained {
+		return trace.Uop{}, false
+	}
+	u, ok := f.tr.Next()
+	if !ok {
+		f.drained = true
+		return trace.Uop{}, false
+	}
+	f.pendingUop = u
+	f.hasPending = true
+	return u, true
+}
+
+// fill runs one fetch/decode cycle, appending up to FetchWidth uops to the
+// decoded queue. It returns the number of correct-path uops fetched and
+// whether fetch stopped on a full decode queue (back-pressure), feeding the
+// optional fetch-stage CPI stack.
+func (f *frontend) fill(now int64) (fetched int, queueFull bool) {
+	if f.wrongPath {
+		if f.p.WrongPath == WrongPathSynth {
+			f.fillWrongPath(now)
+		}
+		return 0, false
+	}
+	if f.stallUntil > now {
+		return 0, false
+	}
+	f.stallCause = core.FENone
+
+	for n := 0; n < f.p.FetchWidth; n++ {
+		if f.queueFull() {
+			return fetched, true
+		}
+		u, ok := f.next()
+		if !ok {
+			return fetched, false
+		}
+
+		// Instruction cache: access on line change.
+		line := cache.LineOf(u.PC)
+		if !f.haveLine || line != f.curLine {
+			doneAt, missed := f.hier.Ifetch(u.PC, now)
+			f.curLine = line
+			f.haveLine = true
+			if missed && doneAt > now+1 {
+				// Stall fetch until the line arrives. The uop stays pending
+				// and is delivered when fetch resumes.
+				f.stallUntil = doneAt
+				f.stallCause = core.FEICache
+				f.icacheStalls += doneAt - now
+				return fetched, false
+			}
+		}
+
+		// Microcode decode occupancy: deliver the uop, then stall decode.
+		if u.MicrocodeCycles > 0 {
+			f.stallUntil = now + int64(u.MicrocodeCycles)
+			f.stallCause = core.FEMicrocode
+			f.hasPending = false
+			f.push(feEntry{u: u})
+			return fetched + 1, false
+		}
+
+		// Branch prediction.
+		misp := false
+		if u.Op.IsBranch() && !f.p.PerfectBpred {
+			out := f.pred.Lookup(&u)
+			misp = out.Mispredicted
+		}
+		f.hasPending = false
+		f.push(feEntry{u: u, mispredict: misp})
+		fetched++
+		if misp {
+			// Fetch goes down the wrong path until the branch resolves.
+			f.wrongPath = true
+			return fetched, false
+		}
+	}
+	return fetched, false
+}
+
+// fillWrongPath synthesizes wrong-path uops after a mispredicted branch:
+// a plausible mix of single-cycle ALU work, loads touching nearby data and
+// the occasional multiply. They occupy frontend, ROB, RS and functional
+// units until the squash.
+func (f *frontend) fillWrongPath(now int64) {
+	for n := 0; n < f.p.FetchWidth; n++ {
+		if f.queueFull() {
+			return
+		}
+		f.wpRNG ^= f.wpRNG << 13
+		f.wpRNG ^= f.wpRNG >> 7
+		f.wpRNG ^= f.wpRNG << 17
+		r := f.wpRNG
+		u := trace.Uop{
+			Seq:       wpBit | f.wpSeq,
+			PC:        0x7f0000 + (r>>32)&0x3ff,
+			WrongPath: true,
+			Src:       [3]uint64{trace.NoProducer, trace.NoProducer, trace.NoProducer},
+		}
+		if f.wpSeq > 0 {
+			u.Src[0] = wpBit | (f.wpSeq - 1)
+		}
+		switch {
+		case r%100 < 60:
+			u.Op = trace.OpALU
+		case r%100 < 85:
+			u.Op = trace.OpLoad
+			u.Addr = 0x40000000 + (r>>16)&0xffff8
+		default:
+			u.Op = trace.OpMul
+		}
+		f.wpSeq++
+		f.push(feEntry{u: u})
+	}
+}
+
+// resolve is called when a mispredicted branch finishes executing: the
+// frontend drops the wrong path and resumes correct-path fetch after the
+// redirect penalty.
+func (f *frontend) resolve(now int64) {
+	f.wrongPath = false
+	f.stallUntil = now + f.p.MispredictPenalty
+	f.stallCause = core.FEBpred
+	f.haveLine = false // refetch the target line
+}
+
+// squashQueue drops wrong-path uops from the decoded queue.
+func (f *frontend) squashQueue() {
+	kept := 0
+	for i := 0; i < f.qLen; i++ {
+		e := f.queue[(f.qHead+i)%len(f.queue)]
+		if e.u.WrongPath {
+			continue
+		}
+		f.queue[(f.qHead+kept)%len(f.queue)] = e
+		kept++
+	}
+	f.qLen = kept
+}
+
+// exhausted reports whether no more correct-path uops will ever arrive.
+func (f *frontend) exhausted() bool {
+	return f.drained && !f.hasPending && f.qLen == 0
+}

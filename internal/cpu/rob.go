@@ -1,0 +1,207 @@
+package cpu
+
+import (
+	"perfstacks/internal/core"
+	"perfstacks/internal/trace"
+)
+
+// wpBit marks wrong-path sequence numbers; they live in their own dense
+// counter space so they never collide with trace sequence numbers.
+const wpBit = uint64(1) << 63
+
+// robEntry is one in-flight uop.
+type robEntry struct {
+	u          trace.Uop
+	lat        int64
+	doneAt     int64
+	issued     bool
+	dcacheMiss bool
+	missDepth  uint8 // cache levels missed by a load (0 = L1 hit)
+	mispredict bool  // branch that was mispredicted (resolves at doneAt)
+}
+
+func (e *robEntry) doneBy(now int64) bool { return e.issued && e.doneAt <= now }
+
+// rob is a ring-buffer reorder buffer.
+type rob struct {
+	entries []robEntry
+	head    int
+	count   int
+}
+
+func newROB(size int) *rob { return &rob{entries: make([]robEntry, size)} }
+
+func (r *rob) full() bool  { return r.count == len(r.entries) }
+func (r *rob) empty() bool { return r.count == 0 }
+func (r *rob) len() int    { return r.count }
+
+// push allocates the tail entry and returns its slot index.
+func (r *rob) push(e robEntry) int {
+	slot := (r.head + r.count) % len(r.entries)
+	r.entries[slot] = e
+	r.count++
+	return slot
+}
+
+// headEntry returns the oldest in-flight entry (nil when empty).
+func (r *rob) headEntry() *robEntry {
+	if r.count == 0 {
+		return nil
+	}
+	return &r.entries[r.head]
+}
+
+// pop retires the head entry.
+func (r *rob) pop() {
+	r.head = (r.head + 1) % len(r.entries)
+	r.count--
+}
+
+// popTailWrongPath removes wrong-path entries from the tail (squash),
+// returning how many were removed.
+func (r *rob) popTailWrongPath() int {
+	n := 0
+	for r.count > 0 {
+		slot := (r.head + r.count - 1) % len(r.entries)
+		if !r.entries[slot].u.WrongPath {
+			break
+		}
+		r.count--
+		n++
+	}
+	return n
+}
+
+// at returns the entry at a slot index.
+func (r *rob) at(slot int) *robEntry { return &r.entries[slot] }
+
+// headClass classifies the ROB head per Table II lines 10-16: a load with an
+// outstanding D-cache miss charges the D-cache component; an instruction
+// with latency > 1 charges the ALU latency component; a single-cycle
+// instruction charges the dependence component.
+func (r *rob) headClass() core.ProdClass {
+	h := r.headEntry()
+	if h == nil {
+		return core.ProdNone
+	}
+	return classify(h)
+}
+
+// classify applies the paper's blamed-instruction classification.
+func classify(e *robEntry) core.ProdClass {
+	if e.u.Op == trace.OpLoad {
+		if e.dcacheMiss {
+			return core.ProdDCache
+		}
+		// A hit load still has multi-cycle latency.
+		return core.ProdLongLat
+	}
+	if e.lat > 1 {
+		return core.ProdLongLat
+	}
+	return core.ProdDepend
+}
+
+// scoreEntry records a producer's execution status for dependence lookups.
+type scoreEntry struct {
+	doneAt    int64
+	lat       int64
+	issued    bool
+	isLoad    bool
+	miss      bool
+	missDepth uint8
+}
+
+// scoreboard tracks producer readiness by sequence number. Correct-path and
+// wrong-path uops have separate dense counter spaces; each space is a ring
+// sized to the in-flight window. Producers older than the in-flight window
+// have committed and are always ready.
+type scoreboard struct {
+	cp       []scoreEntry
+	wp       []scoreEntry
+	oldestCP uint64 // sequence numbers below this have committed
+}
+
+func newScoreboard(window int) *scoreboard {
+	return &scoreboard{
+		cp: make([]scoreEntry, window),
+		wp: make([]scoreEntry, window),
+	}
+}
+
+func (s *scoreboard) slot(seq uint64) *scoreEntry {
+	if seq&wpBit != 0 {
+		return &s.wp[(seq&^wpBit)%uint64(len(s.wp))]
+	}
+	return &s.cp[seq%uint64(len(s.cp))]
+}
+
+// allocate resets the producer record when a uop dispatches.
+func (s *scoreboard) allocate(seq uint64, isLoad bool) {
+	*s.slot(seq) = scoreEntry{isLoad: isLoad}
+}
+
+// issue records execution results.
+func (s *scoreboard) issue(seq uint64, doneAt, lat int64, miss bool, missDepth uint8) {
+	e := s.slot(seq)
+	e.issued = true
+	e.doneAt = doneAt
+	e.lat = lat
+	e.miss = miss
+	e.missDepth = missDepth
+}
+
+// readyAt returns when the producer's result is available, or (0,true) for
+// committed/absent producers; ok=false when the producer has not issued yet.
+func (s *scoreboard) readyAt(seq uint64) (int64, bool) {
+	if seq == trace.NoProducer {
+		return 0, true
+	}
+	if seq&wpBit == 0 && seq < s.oldestCP {
+		return 0, true
+	}
+	e := s.slot(seq)
+	if !e.issued {
+		return 0, false
+	}
+	return e.doneAt, true
+}
+
+// producerClass classifies a producer for issue-stage accounting (Table II,
+// issue column): the producer of the first non-ready instruction.
+func (s *scoreboard) producerClass(seq uint64) (cls core.ProdClass, isLoad bool) {
+	cls, isLoad, _ = s.producerClassDepth(seq)
+	return cls, isLoad
+}
+
+// producerClassDepth additionally reports the producer's miss depth.
+func (s *scoreboard) producerClassDepth(seq uint64) (cls core.ProdClass, isLoad bool, depth uint8) {
+	if seq == trace.NoProducer || (seq&wpBit == 0 && seq < s.oldestCP) {
+		return core.ProdNone, false, 0
+	}
+	e := s.slot(seq)
+	if e.isLoad {
+		if e.issued && e.miss {
+			return core.ProdDCache, true, e.missDepth
+		}
+		return core.ProdLongLat, true, 0
+	}
+	if e.issued && e.lat > 1 {
+		return core.ProdLongLat, false, 0
+	}
+	if !e.issued {
+		// The producer itself is waiting: a dependence-chain stall.
+		return core.ProdDepend, false, 0
+	}
+	if e.lat > 1 {
+		return core.ProdLongLat, false, 0
+	}
+	return core.ProdDepend, false, 0
+}
+
+// retire advances the committed horizon.
+func (s *scoreboard) retire(seq uint64) {
+	if seq&wpBit == 0 && seq >= s.oldestCP {
+		s.oldestCP = seq + 1
+	}
+}

@@ -1,0 +1,105 @@
+package cpu_test
+
+import (
+	"math"
+	"testing"
+
+	"perfstacks/internal/bpred"
+	"perfstacks/internal/cache"
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/cpu"
+	"perfstacks/internal/trace"
+)
+
+// linearTrace builds n independent single-cycle ALU uops on one cache line
+// region: the pipeline should stream at full width.
+func linearTrace(n int) *trace.Slice {
+	uops := make([]trace.Uop, n)
+	for i := range uops {
+		uops[i] = trace.Uop{
+			Seq: uint64(i),
+			PC:  0x1000 + uint64(i%16)*4,
+			Op:  trace.OpALU,
+			Src: [3]uint64{trace.NoProducer, trace.NoProducer, trace.NoProducer},
+		}
+	}
+	return trace.NewSlice(uops)
+}
+
+// chainTrace builds n dependent single-cycle ALU uops: IPC should approach 1.
+func chainTrace(n int) *trace.Slice {
+	uops := make([]trace.Uop, n)
+	for i := range uops {
+		src := trace.NoProducer
+		if i > 0 {
+			src = uint64(i - 1)
+		}
+		uops[i] = trace.Uop{
+			Seq: uint64(i),
+			PC:  0x1000 + uint64(i%16)*4,
+			Op:  trace.OpALU,
+			Src: [3]uint64{src, trace.NoProducer, trace.NoProducer},
+		}
+	}
+	return trace.NewSlice(uops)
+}
+
+func runTrace(t *testing.T, m config.Machine, tr trace.Reader) (*core.MultiStack, cpu.Stats) {
+	t.Helper()
+	hier := cache.NewHierarchy(m.Hierarchy)
+	c := cpu.New(m.Core, hier, bpred.Perfect{}, tr)
+	acct := core.NewMultiStageAccountant(core.Options{Width: m.Core.MinWidth()})
+	c.Attach(acct)
+	stats := c.Run()
+	return acct.Finalize(stats.Committed), stats
+}
+
+func TestIndependentALUStreamsAtFullWidth(t *testing.T) {
+	m := config.BDW()
+	const n = 20000
+	ms, stats := runTrace(t, m, linearTrace(n))
+	if stats.Committed != n {
+		t.Fatalf("committed %d, want %d", stats.Committed, n)
+	}
+	ipc := stats.IPC()
+	if ipc < 3.5 || ipc > 4.01 {
+		t.Fatalf("independent ALU stream IPC = %.3f, want ~4", ipc)
+	}
+	// Base component dominates at every stage.
+	for _, st := range core.Stages() {
+		s := ms.Stack(st)
+		if got := s.Normalized(core.CompBase); got < 0.85 {
+			t.Errorf("%s base fraction = %.3f, want > 0.85", st, got)
+		}
+	}
+}
+
+func TestDependenceChainSerializes(t *testing.T) {
+	m := config.BDW()
+	const n = 20000
+	ms, stats := runTrace(t, m, chainTrace(n))
+	ipc := stats.IPC()
+	if ipc < 0.9 || ipc > 1.1 {
+		t.Fatalf("dependence chain IPC = %.3f, want ~1", ipc)
+	}
+	// The dominant stall component at every stage should be Depend.
+	for _, st := range core.Stages() {
+		s := ms.Stack(st)
+		dep := s.Normalized(core.CompDepend)
+		if dep < 0.5 {
+			t.Errorf("%s depend fraction = %.3f, want > 0.5 (%v)", st, dep, s)
+		}
+	}
+}
+
+func TestStackSumsToCycles(t *testing.T) {
+	m := config.KNL()
+	ms, stats := runTrace(t, m, chainTrace(5000))
+	for _, st := range core.Stages() {
+		s := ms.Stack(st)
+		if math.Abs(s.Sum()-float64(stats.Cycles)) > 1e-6*float64(stats.Cycles)+1e-3 {
+			t.Errorf("%s stack sums to %.3f, want %d cycles", st, s.Sum(), stats.Cycles)
+		}
+	}
+}

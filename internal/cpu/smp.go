@@ -1,0 +1,68 @@
+package cpu
+
+// SMP steps several cores cycle-by-cycle against a shared uncore (the cores'
+// hierarchies are built over one shared L3/memory via
+// cache.NewHierarchyShared). Cores that commit a barrier uop yield — their
+// cycles surface as the Unsched component — until every running core has
+// reached the same barrier, mirroring the OpenMP-style synchronization the
+// paper's DeepBench workloads exhibit (Figure 5's "Unsched").
+type SMP struct {
+	Cores []*Core
+
+	waiting  int
+	running  int
+	finished []bool
+}
+
+// NewSMP wires the cores' barrier callbacks together.
+func NewSMP(cores []*Core) *SMP {
+	s := &SMP{
+		Cores:    cores,
+		running:  len(cores),
+		finished: make([]bool, len(cores)),
+	}
+	for _, c := range cores {
+		c.SetBarrierWaiter(func(*Core) { s.waiting++ })
+	}
+	return s
+}
+
+// releaseIfAll releases all yielded cores once every unfinished core waits.
+func (s *SMP) releaseIfAll() {
+	if s.waiting == 0 || s.waiting < s.running {
+		return
+	}
+	for _, c := range s.Cores {
+		if c.Yielded() {
+			c.ReleaseBarrier()
+		}
+	}
+	s.waiting = 0
+}
+
+// Step advances every unfinished core one cycle; it returns false when all
+// cores have finished.
+func (s *SMP) Step() bool {
+	if s.running == 0 {
+		return false
+	}
+	for i, c := range s.Cores {
+		if s.finished[i] {
+			continue
+		}
+		if !c.Step() {
+			s.finished[i] = true
+			s.running--
+			// A finished core can no longer reach barriers; avoid deadlock
+			// by recounting the waiters threshold.
+		}
+	}
+	s.releaseIfAll()
+	return s.running > 0
+}
+
+// Run steps all cores to completion.
+func (s *SMP) Run() {
+	for s.Step() {
+	}
+}

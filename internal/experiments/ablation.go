@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/textplot"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+// AblationResult evaluates two of the paper's design choices by turning them
+// off:
+//
+//  1. Width normalization (§III-A): with each stage divided by its own width
+//     instead of the minimum, the base components diverge across stages and
+//     the wider issue stage reports spurious width-mismatch stalls.
+//  2. The prefetcher behind the bwaves case study (§V-A): without hardware
+//     prefetching there is no L2-MSHR contention, and the multi-stage bound
+//     on the I-cache component holds again.
+type AblationResult struct {
+	// Width-normalization ablation (mcf on BDW; issue is 6-wide vs W=4).
+	Workload   string
+	Machine    string
+	MinWidth   *core.MultiStack // paper's normalization
+	StageWidth *core.MultiStack // naive per-stage widths
+
+	// Prefetcher ablation (bwaves-like on BDW).
+	PFWorkload    string
+	PFOn          bwavesBound
+	PFOff         bwavesBound
+	PFOnViolates  bool
+	PFOffViolates bool
+}
+
+// bwavesBound holds the I-cache bound check of the bwaves case study.
+type bwavesBound struct {
+	Lo, Hi float64 // multi-stage I-cache component range
+	Actual float64 // measured CPI delta of a perfect I-cache
+}
+
+// Ablation runs both studies.
+func Ablation(spec RunSpec) AblationResult {
+	prof := mustProfile("mcf")
+	m := config.BDW()
+
+	mkTrace := func(p workload.Profile) trace.Reader {
+		return trace.NewLimit(workload.NewGenerator(p), spec.Warmup+spec.Uops)
+	}
+
+	res := AblationResult{Workload: prof.Name, Machine: m.Name, PFWorkload: "bwaves-1"}
+
+	// --- Width normalization ---
+	runWith := func(opts core.Options) *core.MultiStack {
+		simOpts := sim.Options{CPI: true, WarmupUops: spec.Warmup}
+		r := sim.RunCustom(m, mkTrace(prof), simOpts, opts)
+		return r.Stacks
+	}
+	res.MinWidth = runWith(core.Options{Width: m.Core.MinWidth()})
+	res.StageWidth = runWith(core.Options{
+		Width:          m.Core.MinWidth(),
+		UseStageWidths: true,
+		StageWidths: [core.NumStages]int{
+			core.StageDispatch: m.Core.DispatchWidth,
+			core.StageIssue:    m.Core.IssueWidth,
+			core.StageCommit:   m.Core.CommitWidth,
+		},
+	})
+
+	// --- Prefetcher behind the bwaves bound violation ---
+	bw := mustProfile("bwaves-1")
+	measure := func(prefetch bool) bwavesBound {
+		mm := m
+		if !prefetch {
+			mm.Hierarchy.L2.Prefetch.Enabled = false
+		}
+		opts := sim.Default()
+		opts.WarmupUops = spec.Warmup
+		real := sim.Run(mm, mkTrace(bw), opts)
+		ideal := sim.Run(mm.Apply(config.Idealize{PerfectICache: true}), mkTrace(bw), opts)
+		lo, hi := real.Stacks.ComponentRange(core.CompICache)
+		return bwavesBound{Lo: lo, Hi: hi, Actual: real.CPIOf() - ideal.CPIOf()}
+	}
+	res.PFOn = measure(true)
+	res.PFOff = measure(false)
+	res.PFOnViolates = res.PFOn.Actual < res.PFOn.Lo-0.005 || res.PFOn.Actual > res.PFOn.Hi+0.005
+	res.PFOffViolates = res.PFOff.Actual < res.PFOff.Lo-0.005 || res.PFOff.Actual > res.PFOff.Hi+0.005
+	return res
+}
+
+// Render formats both studies.
+func (r AblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation 1: width normalization (§III-A), " + r.Workload + " on " + r.Machine + "\n\n")
+	tbl := textplot.NewTable("normalization", "base(disp)", "base(issue)", "base(commit)", "other(issue)")
+	row := func(name string, ms *core.MultiStack) {
+		tbl.Rowf(name,
+			ms.Stack(core.StageDispatch).CPI(core.CompBase),
+			ms.Stack(core.StageIssue).CPI(core.CompBase),
+			ms.Stack(core.StageCommit).CPI(core.CompBase),
+			ms.Stack(core.StageIssue).CPI(core.CompOther))
+	}
+	row("min-width (paper)", r.MinWidth)
+	row("per-stage (naive)", r.StageWidth)
+	b.WriteString(tbl.String())
+	b.WriteString("With per-stage widths the 6-wide issue stage's base shrinks and its\n")
+	b.WriteString("width mismatch surfaces as spurious stall; min-width keeps bases equal.\n\n")
+
+	b.WriteString("Ablation 2: prefetcher behind the bwaves bound violation (§V-A)\n\n")
+	tbl2 := textplot.NewTable("prefetcher", "Icache range", "actual", "bound holds?")
+	fmtB := func(v bwavesBound, violates bool) []interface{} {
+		hold := "yes"
+		if violates {
+			hold = "NO (violated)"
+		}
+		return []interface{}{fmt.Sprintf("[%.3f, %.3f]", v.Lo, v.Hi), v.Actual, hold}
+	}
+	tbl2.Rowf(append([]interface{}{"on"}, fmtB(r.PFOn, r.PFOnViolates)...)...)
+	tbl2.Rowf(append([]interface{}{"off"}, fmtB(r.PFOff, r.PFOffViolates)...)...)
+	b.WriteString(tbl2.String())
+	b.WriteString("The violation is caused by prefetch-driven MSHR/bandwidth contention;\n")
+	b.WriteString("removing the prefetcher restores (or greatly narrows) the bound.\n")
+	return b.String()
+}

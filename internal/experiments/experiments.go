@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+// RunSpec sizes the simulations behind an experiment. The defaults mirror
+// the paper's methodology scaled to interactive runtimes: a warm-up phase
+// standing in for the 10-billion-instruction fast-forward, then a detailed
+// window standing in for the 1-billion-instruction measurement.
+type RunSpec struct {
+	// Uops is the measured window length in uops.
+	Uops uint64
+	// Warmup is the unmeasured warm-up length in uops.
+	Warmup uint64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultSpec returns the standard experiment sizing.
+func DefaultSpec() RunSpec {
+	return RunSpec{Uops: 300_000, Warmup: 200_000}
+}
+
+// QuickSpec returns a reduced sizing for tests.
+func QuickSpec() RunSpec {
+	return RunSpec{Uops: 60_000, Warmup: 40_000}
+}
+
+func (s RunSpec) workers() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runSPEC simulates a named SPEC-like profile on a machine (with optional
+// idealizations) under the spec's sizing.
+func runSPEC(spec RunSpec, m config.Machine, prof workload.Profile, opts sim.Options) sim.Result {
+	opts.WarmupUops = spec.Warmup
+	tr := trace.NewLimit(workload.NewGenerator(prof), spec.Warmup+spec.Uops)
+	return sim.Run(m, tr, opts)
+}
+
+// cpiOf runs a profile and returns the measured (post-warm-up) CPI.
+func cpiOf(spec RunSpec, m config.Machine, prof workload.Profile) float64 {
+	r := runSPEC(spec, m, prof, sim.Default())
+	return r.CPIOf()
+}
+
+// parallel runs n jobs across the spec's worker pool.
+func parallel(spec RunSpec, n int, job func(i int)) {
+	workers := spec.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// mustProfile fetches a named profile or panics (experiment tables are
+// static; a missing name is a programming error).
+func mustProfile(name string) workload.Profile {
+	p, ok := workload.SPECProfile(name)
+	if !ok {
+		panic("unknown workload profile: " + name)
+	}
+	return p
+}

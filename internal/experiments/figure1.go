@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/sim"
+)
+
+// Figure1Result reproduces Figure 1: example CPI stacks measured
+// simultaneously at the dispatch, issue and commit stages for one
+// application (mcf on BDW).
+type Figure1Result struct {
+	Workload string
+	Machine  string
+	Stacks   *core.MultiStack
+}
+
+// Figure1 runs the experiment.
+func Figure1(spec RunSpec) Figure1Result {
+	prof := mustProfile("mcf")
+	res := runSPEC(spec, config.BDW(), prof, sim.Default())
+	return Figure1Result{Workload: prof.Name, Machine: "BDW", Stacks: res.Stacks}
+}
+
+// Render formats the stacks as the paper's stacked bars plus a component
+// table.
+func (r Figure1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: CPI stacks at dispatch, issue and commit (%s on %s)\n\n",
+		r.Workload, r.Machine)
+	b.WriteString(RenderMultiStack(r.Stacks))
+	b.WriteString("\n")
+	b.WriteString(RenderStackTable(r.Stacks))
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/stats"
+	"perfstacks/internal/textplot"
+	"perfstacks/internal/workload"
+)
+
+// Figure2Component identifies the CPI components Figure 2 evaluates.
+var figure2Components = []core.Component{
+	core.CompICache, core.CompDCache, core.CompBpred, core.CompALULat,
+}
+
+// figure2Threshold is the paper's benchmark filter: a component must be at
+// least 10% of total CPI in some stack for the benchmark to count (this
+// filters out zeros that would artificially reduce the error).
+const figure2Threshold = 0.10
+
+// Figure2Errors holds, for one machine and component, the error
+// distributions of the three single stacks and the multi-stage combination.
+type Figure2Errors struct {
+	Component core.Component
+	// N is the number of benchmarks that passed the >=10% filter.
+	N int
+	// PerStage are errors (predicted component - actual CPI delta) per
+	// accounting stage, one value per selected benchmark.
+	PerStage [core.NumStages][]float64
+	// Multi is the multi-stage error: 0 when the actual delta lies within
+	// the min..max component range, else the distance to the closest bound.
+	Multi []float64
+}
+
+// Figure2Machine is one subplot (BDW or KNL).
+type Figure2Machine struct {
+	Machine    string
+	Components []Figure2Errors
+}
+
+// Figure2Result reproduces Figure 2: the error on the components for the
+// individual CPI stacks and the combined multi-stage representation.
+type Figure2Result struct {
+	BDW Figure2Machine
+	KNL Figure2Machine
+}
+
+// idealizeFor maps a component to the idealization that removes it.
+func idealizeFor(c core.Component) config.Idealize {
+	switch c {
+	case core.CompICache:
+		return config.Idealize{PerfectICache: true}
+	case core.CompDCache:
+		return config.Idealize{PerfectDCache: true}
+	case core.CompBpred:
+		return config.Idealize{PerfectBpred: true}
+	case core.CompALULat:
+		return config.Idealize{SingleCycleALU: true}
+	}
+	return config.Idealize{}
+}
+
+// benchObservation is one benchmark's measurement on one machine.
+type benchObservation struct {
+	name   string
+	stacks *core.MultiStack
+	// deltas[i] is the actual CPI reduction for figure2Components[i].
+	deltas [4]float64
+}
+
+// figure2Machine measures every benchmark on one machine: one real run for
+// the stacks plus one run per idealization.
+func figure2Machine(spec RunSpec, m config.Machine) []benchObservation {
+	profs := workload.SPECProfiles()
+	obs := make([]benchObservation, len(profs))
+
+	type jobKey struct{ bench, run int } // run 0 = real, 1..4 idealized
+	jobs := make([]jobKey, 0, len(profs)*5)
+	for b := range profs {
+		for r := 0; r <= len(figure2Components); r++ {
+			jobs = append(jobs, jobKey{b, r})
+		}
+	}
+	cpis := make([]float64, len(jobs))
+	results := make([]*core.MultiStack, len(jobs))
+	parallel(spec, len(jobs), func(i int) {
+		j := jobs[i]
+		mm := m
+		if j.run > 0 {
+			mm = m.Apply(idealizeFor(figure2Components[j.run-1]))
+		}
+		r := runSPEC(spec, mm, profs[j.bench], sim.Default())
+		cpis[i] = r.CPIOf()
+		if j.run == 0 {
+			results[i] = r.Stacks
+		}
+	})
+	// Fold job results into per-benchmark observations.
+	base := make([]float64, len(profs))
+	for i, j := range jobs {
+		if j.run == 0 {
+			obs[j.bench].name = profs[j.bench].Name
+			obs[j.bench].stacks = results[i]
+			base[j.bench] = cpis[i]
+		}
+	}
+	for i, j := range jobs {
+		if j.run > 0 {
+			obs[j.bench].deltas[j.run-1] = base[j.bench] - cpis[i]
+		}
+	}
+	return obs
+}
+
+// figure2Errors computes the per-component error distributions.
+func figure2Errors(obs []benchObservation) []Figure2Errors {
+	out := make([]Figure2Errors, 0, len(figure2Components))
+	for ci, comp := range figure2Components {
+		e := Figure2Errors{Component: comp}
+		for _, o := range obs {
+			// >=10% of total CPI in any stack.
+			pass := false
+			for _, st := range core.Stages() {
+				s := o.stacks.Stack(st)
+				if s.TotalCPI() > 0 && s.CPI(comp)/s.TotalCPI() >= figure2Threshold {
+					pass = true
+					break
+				}
+			}
+			if !pass {
+				continue
+			}
+			e.N++
+			actual := o.deltas[ci]
+			for _, st := range core.Stages() {
+				pred := o.stacks.Stack(st).CPI(comp)
+				e.PerStage[st] = append(e.PerStage[st], pred-actual)
+			}
+			_, err := o.stacks.Bounds(comp, actual)
+			// Bounds returns actual-relative error; Figure 2 plots
+			// predicted-actual, so flip the sign for consistency.
+			e.Multi = append(e.Multi, -err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Figure2 runs the experiment on both machines.
+func Figure2(spec RunSpec) Figure2Result {
+	bdw := figure2Machine(spec, config.BDW())
+	knl := figure2Machine(spec, config.KNL())
+	return Figure2Result{
+		BDW: Figure2Machine{Machine: "BDW", Components: figure2Errors(bdw)},
+		KNL: Figure2Machine{Machine: "KNL", Components: figure2Errors(knl)},
+	}
+}
+
+// Render draws the error box plots (five-number summaries, as the paper's
+// whisker convention: boxes at quartiles, whiskers at extremes).
+func (r Figure2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: error on components (predicted - actual) per stack vs multi-stage\n")
+	for _, m := range []Figure2Machine{r.BDW, r.KNL} {
+		fmt.Fprintf(&b, "\n(%s)\n", m.Machine)
+		for _, e := range m.Components {
+			if e.N == 0 {
+				fmt.Fprintf(&b, "%s: no benchmark above the 10%% filter\n", e.Component)
+				continue
+			}
+			// The paper omits boxes with only one benchmark (ALU on BDW).
+			if e.N < 2 {
+				fmt.Fprintf(&b, "%s: only %d benchmark above the 10%% filter (omitted, as in the paper)\n",
+					e.Component, e.N)
+				continue
+			}
+			fmt.Fprintf(&b, "%s (%d benchmarks):\n", e.Component, e.N)
+			bp := textplot.NewBoxPlot()
+			for _, st := range core.Stages() {
+				box := stats.Summarize(e.PerStage[st])
+				bp.Add(st.String(), box.Min, box.Q1, box.Median, box.Q3, box.Max)
+			}
+			mbox := stats.Summarize(e.Multi)
+			bp.Add("multi", mbox.Min, mbox.Q1, mbox.Median, mbox.Q3, mbox.Max)
+			b.WriteString(bp.String())
+		}
+	}
+	b.WriteString("\nSummary (mean |error| per component, single stacks vs multi-stage):\n")
+	tbl := textplot.NewTable("machine", "component", "dispatch", "issue", "commit", "multi", "N")
+	for _, m := range []Figure2Machine{r.BDW, r.KNL} {
+		for _, e := range m.Components {
+			if e.N < 2 {
+				continue
+			}
+			tbl.Rowf(m.Machine, e.Component.String(),
+				stats.MeanAbs(e.PerStage[core.StageDispatch]),
+				stats.MeanAbs(e.PerStage[core.StageIssue]),
+				stats.MeanAbs(e.PerStage[core.StageCommit]),
+				stats.MeanAbs(e.Multi), e.N)
+		}
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}
+
+// MeanAbsMulti returns the mean absolute multi-stage error across all
+// components of a machine (used by tests and EXPERIMENTS.md).
+func (m Figure2Machine) MeanAbsMulti() float64 {
+	var all []float64
+	for _, e := range m.Components {
+		all = append(all, e.Multi...)
+	}
+	return stats.MeanAbs(all)
+}
+
+// MeanAbsStage returns the mean absolute single-stack error at a stage.
+func (m Figure2Machine) MeanAbsStage(st core.Stage) float64 {
+	var all []float64
+	for _, e := range m.Components {
+		all = append(all, e.PerStage[st]...)
+	}
+	return stats.MeanAbs(all)
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/sim"
+)
+
+// Figure3Case is one of the paper's five multi-stage CPI stack case studies:
+// a workload/machine pair, the stacks before and after selected
+// idealizations, and the observed CPI deltas.
+type Figure3Case struct {
+	Label    string // e.g. "(a) mcf on BDW"
+	Workload string
+	Machine  string
+	// Real is the all-real multi-stage stack.
+	Real *core.MultiStack
+	// Idealized holds, per idealization, the resulting stacks and deltas.
+	Idealized []Figure3Idealized
+}
+
+// Figure3Idealized is one idealization column of a Figure 3 subplot.
+type Figure3Idealized struct {
+	Idealize config.Idealize
+	Stacks   *core.MultiStack
+	CPI      float64
+	Delta    float64
+	// Component is the stack component the idealization targets.
+	Component core.Component
+	// PredictLo/PredictHi is the multi-stage prediction range for that
+	// component on the real stacks.
+	PredictLo float64
+	PredictHi float64
+	// InBounds is true when the actual delta falls within the range.
+	InBounds bool
+}
+
+// Figure3Result reproduces Figure 3: the selected multi-stage CPI stacks
+// before and after making components perfect.
+type Figure3Result struct {
+	Cases []Figure3Case
+}
+
+// figure3Plan lists the paper's five subplots with their idealizations.
+var figure3Plan = []struct {
+	label, workload, machine string
+	ideals                   []config.Idealize
+}{
+	{"(a) mcf on BDW", "mcf", "BDW",
+		[]config.Idealize{{PerfectBpred: true}, {PerfectDCache: true}}},
+	{"(b) cactus on BDW", "cactuBSSN", "BDW",
+		[]config.Idealize{{PerfectICache: true}, {PerfectDCache: true}}},
+	{"(c) bwaves on BDW", "bwaves-1", "BDW",
+		[]config.Idealize{{PerfectICache: true}, {PerfectDCache: true}}},
+	{"(d) povray on KNL", "povray", "KNL",
+		[]config.Idealize{{SingleCycleALU: true}, {PerfectBpred: true}}},
+	{"(e) imagick on KNL", "imagick", "KNL",
+		[]config.Idealize{{SingleCycleALU: true}}},
+}
+
+// idealComponent maps an idealization to the component it removes.
+func idealComponent(id config.Idealize) core.Component {
+	switch {
+	case id.PerfectICache:
+		return core.CompICache
+	case id.PerfectDCache:
+		return core.CompDCache
+	case id.PerfectBpred:
+		return core.CompBpred
+	case id.SingleCycleALU:
+		return core.CompALULat
+	}
+	return core.CompOther
+}
+
+// Figure3 runs the experiment.
+func Figure3(spec RunSpec) Figure3Result {
+	// Flatten all runs (real + idealized per case) into one job list.
+	type job struct {
+		caseIdx int
+		ideal   int // -1 = real
+	}
+	var jobs []job
+	for ci, c := range figure3Plan {
+		jobs = append(jobs, job{ci, -1})
+		for ii := range c.ideals {
+			jobs = append(jobs, job{ci, ii})
+		}
+	}
+	type outcome struct {
+		stacks *core.MultiStack
+		cpi    float64
+	}
+	outs := make([]outcome, len(jobs))
+	parallel(spec, len(jobs), func(i int) {
+		j := jobs[i]
+		plan := figure3Plan[j.caseIdx]
+		m, err := config.ByName(plan.machine)
+		if err != nil {
+			panic(err)
+		}
+		if j.ideal >= 0 {
+			m = m.Apply(plan.ideals[j.ideal])
+		}
+		r := runSPEC(spec, m, mustProfile(plan.workload), sim.Default())
+		outs[i] = outcome{r.Stacks, r.CPIOf()}
+	})
+
+	res := Figure3Result{Cases: make([]Figure3Case, len(figure3Plan))}
+	for ci, plan := range figure3Plan {
+		res.Cases[ci] = Figure3Case{
+			Label:    plan.label,
+			Workload: plan.workload,
+			Machine:  plan.machine,
+		}
+	}
+	// Reals first so deltas can be computed.
+	for i, j := range jobs {
+		if j.ideal < 0 {
+			res.Cases[j.caseIdx].Real = outs[i].stacks
+		}
+	}
+	for i, j := range jobs {
+		if j.ideal < 0 {
+			continue
+		}
+		c := &res.Cases[j.caseIdx]
+		id := figure3Plan[j.caseIdx].ideals[j.ideal]
+		comp := idealComponent(id)
+		baseCPI := c.Real.Stacks[0].TotalCPI()
+		lo, hi := c.Real.ComponentRange(comp)
+		delta := baseCPI - outs[i].cpi
+		c.Idealized = append(c.Idealized, Figure3Idealized{
+			Idealize:  id,
+			Stacks:    outs[i].stacks,
+			CPI:       outs[i].cpi,
+			Delta:     delta,
+			Component: comp,
+			PredictLo: lo,
+			PredictHi: hi,
+			InBounds:  delta >= lo && delta <= hi,
+		})
+	}
+	return res
+}
+
+// Render draws each case's stacks and the prediction-vs-actual summary.
+func (r Figure3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: selected multi-stage CPI stacks before/after idealization\n")
+	for _, c := range r.Cases {
+		fmt.Fprintf(&b, "\n%s  (all real, CPI %.3f)\n", c.Label, c.Real.Stacks[0].TotalCPI())
+		b.WriteString(RenderStackTable(c.Real))
+		for _, id := range c.Idealized {
+			verdict := "WITHIN multi-stage bounds"
+			if !id.InBounds {
+				verdict = "OUTSIDE bounds (higher-order effect)"
+			}
+			fmt.Fprintf(&b, "%s: CPI %.3f, delta %.3f; %s range [%.3f, %.3f] → %s\n",
+				id.Idealize, id.CPI, id.Delta, id.Component, id.PredictLo, id.PredictHi, verdict)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/textplot"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+// Figure4Category is the paper's comparable component grouping: both the
+// issue-stage CPI stack and the FLOPS stack are normalized and collapsed to
+// base / frontend / memory / depend (+ other), then subtracted.
+type Figure4Category int
+
+const (
+	CatBase Figure4Category = iota
+	CatFrontend
+	CatMemory
+	CatDepend
+	CatOther
+	numCategories
+)
+
+var categoryNames = [numCategories]string{"base", "frontend", "memory", "depend", "other"}
+
+// String names the category.
+func (c Figure4Category) String() string { return categoryNames[c] }
+
+// cpiCategories collapses a normalized issue-stage CPI stack.
+func cpiCategories(s *core.Stack) [numCategories]float64 {
+	var out [numCategories]float64
+	out[CatBase] = s.Normalized(core.CompBase)
+	out[CatFrontend] = s.Normalized(core.CompBpred) + s.Normalized(core.CompICache) +
+		s.Normalized(core.CompMicrocode)
+	out[CatMemory] = s.Normalized(core.CompDCache)
+	out[CatDepend] = s.Normalized(core.CompALULat) + s.Normalized(core.CompDepend)
+	out[CatOther] = s.Normalized(core.CompOther) + s.Normalized(core.CompUnsched)
+	return out
+}
+
+// flopsCategories collapses a normalized FLOPS stack.
+func flopsCategories(f *core.FLOPSStack) [numCategories]float64 {
+	var out [numCategories]float64
+	out[CatBase] = f.Normalized(core.FBase)
+	out[CatFrontend] = f.Normalized(core.FFrontendNoVFP) + f.Normalized(core.FFrontendICache) +
+		f.Normalized(core.FFrontendBpred)
+	out[CatMemory] = f.Normalized(core.FMem)
+	out[CatDepend] = f.Normalized(core.FDepend)
+	out[CatOther] = f.Normalized(core.FNonFMA) + f.Normalized(core.FMask) +
+		f.Normalized(core.FNonVFP) + f.Normalized(core.FOther) + f.Normalized(core.FUnsched)
+	return out
+}
+
+// Figure4Suite is one benchmark-set bar group: the average per-category
+// difference (FLOPS stack - issue CPI stack), which sums to zero.
+type Figure4Suite struct {
+	Suite   string
+	Machine string
+	// Diff[c] is the mean normalized difference per category.
+	Diff [numCategories]float64
+	// Configs is the number of kernel configurations averaged.
+	Configs int
+}
+
+// Figure4Result reproduces Figure 4: the relative difference per component
+// between the issue-stage CPI stack and the FLOPS stack for the
+// DeepBench-like kernels on KNL and SKX.
+type Figure4Result struct {
+	Suites []Figure4Suite
+}
+
+// figure4Kernels enumerates one suite's kernel builders.
+func figure4Kernels(suite string, style workload.CodeStyle, lanes int) []func() trace.Reader {
+	var out []func() trace.Reader
+	switch suite {
+	case "sgemm-train":
+		for _, c := range workload.GemmTrain() {
+			cfg := c
+			out = append(out, func() trace.Reader {
+				return workload.NewGemm(style, cfg, lanes, 1, 0)
+			})
+		}
+	case "sgemm-inf":
+		for _, c := range workload.GemmInference() {
+			cfg := c
+			out = append(out, func() trace.Reader {
+				return workload.NewGemm(style, cfg, lanes, 1, 0)
+			})
+		}
+	default: // conv-<phase>
+		var phase workload.ConvPhase
+		for _, p := range workload.ConvPhases() {
+			if "conv-"+p.String() == suite {
+				phase = p
+			}
+		}
+		for _, c := range workload.ConvTrain() {
+			cfg := c
+			out = append(out, func() trace.Reader {
+				return workload.NewConv(style, cfg, phase, lanes, 1, 0)
+			})
+		}
+	}
+	return out
+}
+
+// figure4SuiteNames lists the paper's five benchmark sets.
+var figure4SuiteNames = []string{"sgemm-train", "sgemm-inf", "conv-fwd", "conv-bwd_f", "conv-bwd_d"}
+
+// Figure4 runs the experiment.
+func Figure4(spec RunSpec) Figure4Result {
+	machines := []config.Machine{config.KNL(), config.SKX()}
+	var res Figure4Result
+	for _, m := range machines {
+		style := workload.StyleSKX
+		if m.Name == "KNL" {
+			style = workload.StyleKNL
+		}
+		for _, suite := range figure4SuiteNames {
+			builders := figure4Kernels(suite, style, m.Core.VectorLanes)
+			diffs := make([][numCategories]float64, len(builders))
+			parallel(spec, len(builders), func(i int) {
+				opts := sim.Options{CPI: true, FLOPS: true, WarmupUops: spec.Warmup}
+				r := sim.Run(m, trace.NewLimit(builders[i](), spec.Warmup+spec.Uops), opts)
+				cpi := cpiCategories(r.Stacks.Stack(core.StageIssue))
+				fl := flopsCategories(&r.FLOPS)
+				for c := 0; c < int(numCategories); c++ {
+					diffs[i][c] = fl[c] - cpi[c]
+				}
+			})
+			var s Figure4Suite
+			s.Suite = suite
+			s.Machine = m.Name
+			s.Configs = len(builders)
+			for _, d := range diffs {
+				for c := 0; c < int(numCategories); c++ {
+					s.Diff[c] += d[c]
+				}
+			}
+			for c := 0; c < int(numCategories); c++ {
+				s.Diff[c] /= float64(len(builders))
+			}
+			res.Suites = append(res.Suites, s)
+		}
+	}
+	return res
+}
+
+// Suite returns the named suite result (nil when absent).
+func (r *Figure4Result) Suite(machine, suite string) *Figure4Suite {
+	for i := range r.Suites {
+		if r.Suites[i].Machine == machine && r.Suites[i].Suite == suite {
+			return &r.Suites[i]
+		}
+	}
+	return nil
+}
+
+// Render draws the per-suite difference table (positive = larger in the
+// FLOPS stack).
+func (r Figure4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: normalized component difference, FLOPS stack - issue CPI stack\n")
+	b.WriteString("(per suite average; each row sums to ~0)\n\n")
+	tbl := textplot.NewTable("machine", "suite", "base", "frontend", "memory", "depend", "other", "cfgs")
+	for _, s := range r.Suites {
+		tbl.Rowf(s.Machine, s.Suite,
+			fmt.Sprintf("%+.3f", s.Diff[CatBase]),
+			fmt.Sprintf("%+.3f", s.Diff[CatFrontend]),
+			fmt.Sprintf("%+.3f", s.Diff[CatMemory]),
+			fmt.Sprintf("%+.3f", s.Diff[CatDepend]),
+			fmt.Sprintf("%+.3f", s.Diff[CatOther]),
+			s.Configs)
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}

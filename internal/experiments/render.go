@@ -1,0 +1,76 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Table I, Figures 1-5), the simulator-overhead claim of
+// §IV, and an extension experiment comparing the wrong-path accounting
+// schemes of §III-B. Each driver returns a typed result plus a plain-text
+// rendering, so the paper's artifacts regenerate from the command line and
+// from benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"perfstacks/internal/core"
+	"perfstacks/internal/textplot"
+)
+
+// cpiSegments converts a stack to stacked-bar segments in CPI units.
+func cpiSegments(s *core.Stack) []textplot.Segment {
+	segs := make([]textplot.Segment, 0, core.NumComponents)
+	for c := core.Component(0); c < core.NumComponents; c++ {
+		segs = append(segs, textplot.Segment{
+			Label: c.String(),
+			Value: s.CPI(c),
+			Rune:  textplot.StackRunes[int(c)%len(textplot.StackRunes)],
+		})
+	}
+	return segs
+}
+
+// RenderMultiStack renders the three stacks of a multi-stage measurement as
+// stacked bars in CPI units (the paper's Figure 1/3 style).
+func RenderMultiStack(ms *core.MultiStack) string {
+	names := make([]string, 0, core.NumStages)
+	bars := make([][]textplot.Segment, 0, core.NumStages)
+	for _, st := range core.Stages() {
+		names = append(names, st.String())
+		bars = append(bars, cpiSegments(ms.Stack(st)))
+	}
+	return textplot.StackedBars(names, bars, 0, 60)
+}
+
+// RenderStackTable renders per-component CPI values of the three stacks as
+// an aligned table.
+func RenderStackTable(ms *core.MultiStack) string {
+	tbl := textplot.NewTable("component", "dispatch", "issue", "commit")
+	for c := core.Component(0); c < core.NumComponents; c++ {
+		d := ms.Stack(core.StageDispatch).CPI(c)
+		i := ms.Stack(core.StageIssue).CPI(c)
+		m := ms.Stack(core.StageCommit).CPI(c)
+		if d < 0.0005 && i < 0.0005 && m < 0.0005 {
+			continue
+		}
+		tbl.Rowf(c.String(), d, i, m)
+	}
+	tbl.Rowf("TOTAL", ms.Stack(core.StageDispatch).TotalCPI(),
+		ms.Stack(core.StageIssue).TotalCPI(), ms.Stack(core.StageCommit).TotalCPI())
+	return tbl.String()
+}
+
+// RenderFLOPSStack renders a FLOPS stack normalized to fractions of peak.
+func RenderFLOPSStack(fs *core.FLOPSStack, freqGHz float64) string {
+	var b strings.Builder
+	peak := fs.MaxOpsPerCycle() * freqGHz
+	fmt.Fprintf(&b, "peak %.1f GFLOPS/core, achieved %.2f GFLOPS/core (%.1f%%)\n",
+		peak, fs.ToFLOPS(core.FBase, freqGHz*1e9)/1e9, 100*fs.Normalized(core.FBase))
+	tbl := textplot.NewTable("component", "fraction", "GFLOPS")
+	for c := core.FLOPSComponent(0); c < core.NumFLOPSComponents; c++ {
+		f := fs.Normalized(c)
+		if f < 0.0005 {
+			continue
+		}
+		tbl.Rowf(c.String(), f, fs.ToFLOPS(c, freqGHz*1e9)/1e9)
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}

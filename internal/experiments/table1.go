@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"perfstacks/internal/config"
+)
+
+// TableIRow is one row of the paper's Table I: a configuration and the CPI
+// (and CPI delta against the all-real row) it measures.
+type TableIRow struct {
+	Config string
+	CPI    float64
+	Delta  float64
+}
+
+// TableIBlock is one app/core block of Table I.
+type TableIBlock struct {
+	Title string
+	Rows  []TableIRow
+	// SumIndividual is the sum of the two single-idealization deltas.
+	SumIndividual float64
+	// CombinedDelta is the both-idealizations delta.
+	CombinedDelta float64
+	// Hidden is true when the combined gain exceeds the sum (hidden
+	// stalls); Overlap is true when it falls short (overlapping penalties).
+	Hidden  bool
+	Overlap bool
+}
+
+// TableIResult reproduces Table I: CPI components by idealizing structures,
+// for mcf on KNL (single-cycle ALU x perfect D-cache) and mcf on BDW
+// (perfect branch prediction x perfect D-cache).
+type TableIResult struct {
+	KNL TableIBlock
+	BDW TableIBlock
+}
+
+// TableI runs the experiment.
+func TableI(spec RunSpec) TableIResult {
+	prof := mustProfile("mcf")
+
+	knl := config.KNL()
+	bdw := config.BDW()
+
+	// 8 independent simulations; run them concurrently.
+	type job struct {
+		m  config.Machine
+		id config.Idealize
+	}
+	jobs := []job{
+		{knl, config.Idealize{}},
+		{knl, config.Idealize{SingleCycleALU: true}},
+		{knl, config.Idealize{PerfectDCache: true}},
+		{knl, config.Idealize{PerfectDCache: true, SingleCycleALU: true}},
+		{bdw, config.Idealize{}},
+		{bdw, config.Idealize{PerfectBpred: true}},
+		{bdw, config.Idealize{PerfectDCache: true}},
+		{bdw, config.Idealize{PerfectBpred: true, PerfectDCache: true}},
+	}
+	cpis := make([]float64, len(jobs))
+	parallel(spec, len(jobs), func(i int) {
+		cpis[i] = cpiOf(spec, jobs[i].m.Apply(jobs[i].id), prof)
+	})
+
+	mkBlock := func(title string, base, a, b, ab float64, names [4]string) TableIBlock {
+		blk := TableIBlock{
+			Title: title,
+			Rows: []TableIRow{
+				{names[0], base, 0},
+				{names[1], a, base - a},
+				{names[2], b, base - b},
+				{names[3], ab, base - ab},
+			},
+			SumIndividual: (base - a) + (base - b),
+			CombinedDelta: base - ab,
+		}
+		blk.Hidden = blk.CombinedDelta > blk.SumIndividual+0.005
+		blk.Overlap = blk.CombinedDelta < blk.SumIndividual-0.005
+		return blk
+	}
+
+	return TableIResult{
+		KNL: mkBlock("mcf on KNL", cpis[0], cpis[1], cpis[2], cpis[3],
+			[4]string{"All real", "1-cycle ALU", "perfect Dcache", "perf. Dcache & 1-cyc. ALU"}),
+		BDW: mkBlock("mcf on BDW", cpis[4], cpis[5], cpis[6], cpis[7],
+			[4]string{"All real", "perfect bpred", "perfect Dcache", "perfect bpred & Dcache"}),
+	}
+}
+
+// Render formats the result in the paper's Table I layout.
+func (r TableIResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table I: CPI components by idealizing structures\n\n")
+	for _, blk := range []TableIBlock{r.KNL, r.BDW} {
+		fmt.Fprintf(&b, "%s\n", blk.Title)
+		fmt.Fprintf(&b, "  %-28s %8s %10s\n", "Config", "CPI", "Diff. CPI")
+		for i, row := range blk.Rows {
+			if i == 0 {
+				fmt.Fprintf(&b, "  %-28s %8.3f %10s\n", row.Config, row.CPI, "")
+				continue
+			}
+			fmt.Fprintf(&b, "  %-28s %8.3f %10.3f\n", row.Config, row.CPI, row.Delta)
+		}
+		fmt.Fprintf(&b, "  combined %.3f vs sum-of-individual %.3f → ", blk.CombinedDelta, blk.SumIndividual)
+		switch {
+		case blk.Hidden:
+			b.WriteString("HIDDEN stalls (combined > sum)\n\n")
+		case blk.Overlap:
+			b.WriteString("OVERLAPPING penalties (combined < sum)\n\n")
+		default:
+			b.WriteString("additive\n\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+// Package export serializes measured stacks to JSON and CSV so external
+// tooling (spreadsheets, plotting scripts, dashboards) can consume the
+// simulator's output directly.
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"perfstacks/internal/core"
+)
+
+// StackJSON is the JSON shape of one CPI stack.
+type StackJSON struct {
+	Stage        string             `json:"stage"`
+	Width        int                `json:"width"`
+	Cycles       int64              `json:"cycles"`
+	Instructions uint64             `json:"instructions"`
+	TotalCPI     float64            `json:"total_cpi"`
+	Components   map[string]float64 `json:"components_cpi"`
+}
+
+// MultiStackJSON is the JSON shape of a multi-stage measurement.
+type MultiStackJSON struct {
+	Workload string      `json:"workload,omitempty"`
+	Machine  string      `json:"machine,omitempty"`
+	Stacks   []StackJSON `json:"stacks"`
+}
+
+// FLOPSStackJSON is the JSON shape of a FLOPS stack.
+type FLOPSStackJSON struct {
+	Cycles     int64              `json:"cycles"`
+	Units      int                `json:"vector_fp_units"`
+	Lanes      int                `json:"vector_lanes"`
+	FLOPs      uint64             `json:"flops_issued"`
+	Components map[string]float64 `json:"components_fraction"`
+}
+
+func stackJSON(s *core.Stack) StackJSON {
+	out := StackJSON{
+		Stage:        s.Stage.String(),
+		Width:        s.Width,
+		Cycles:       s.Cycles,
+		Instructions: s.Instructions,
+		TotalCPI:     s.TotalCPI(),
+		Components:   make(map[string]float64, core.NumComponents),
+	}
+	for c := core.Component(0); c < core.NumComponents; c++ {
+		out.Components[c.String()] = s.CPI(c)
+	}
+	return out
+}
+
+// MultiStackToJSON writes a multi-stage measurement as indented JSON.
+func MultiStackToJSON(w io.Writer, ms *core.MultiStack, workload, machine string) error {
+	doc := MultiStackJSON{Workload: workload, Machine: machine}
+	for _, st := range core.Stages() {
+		doc.Stacks = append(doc.Stacks, stackJSON(ms.Stack(st)))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("export: encoding multi-stack: %w", err)
+	}
+	return nil
+}
+
+// FLOPSToJSON writes a FLOPS stack as indented JSON.
+func FLOPSToJSON(w io.Writer, fs *core.FLOPSStack) error {
+	doc := FLOPSStackJSON{
+		Cycles:     fs.Cycles,
+		Units:      fs.K,
+		Lanes:      fs.V,
+		FLOPs:      fs.FLOPs,
+		Components: make(map[string]float64, core.NumFLOPSComponents),
+	}
+	for c := core.FLOPSComponent(0); c < core.NumFLOPSComponents; c++ {
+		doc.Components[c.String()] = fs.Normalized(c)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("export: encoding FLOPS stack: %w", err)
+	}
+	return nil
+}
+
+// MultiStackToCSV writes one row per (stage, component) with CPI values:
+//
+//	workload,machine,stage,component,cpi
+func MultiStackToCSV(w io.Writer, ms *core.MultiStack, workload, machine string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "machine", "stage", "component", "cpi"}); err != nil {
+		return fmt.Errorf("export: csv header: %w", err)
+	}
+	for _, st := range core.Stages() {
+		s := ms.Stack(st)
+		for c := core.Component(0); c < core.NumComponents; c++ {
+			rec := []string{
+				workload, machine, st.String(), c.String(),
+				fmt.Sprintf("%.6f", s.CPI(c)),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("export: csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// StacksToCSV writes many labeled multi-stage measurements into one CSV
+// (the spreadsheet-friendly form of a whole benchmark sweep).
+func StacksToCSV(w io.Writer, rows []LabeledStacks) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "machine", "stage", "component", "cpi"}); err != nil {
+		return fmt.Errorf("export: csv header: %w", err)
+	}
+	for _, row := range rows {
+		for _, st := range core.Stages() {
+			s := row.Stacks.Stack(st)
+			for c := core.Component(0); c < core.NumComponents; c++ {
+				rec := []string{
+					row.Workload, row.Machine, st.String(), c.String(),
+					fmt.Sprintf("%.6f", s.CPI(c)),
+				}
+				if err := cw.Write(rec); err != nil {
+					return fmt.Errorf("export: csv row: %w", err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LabeledStacks pairs a measurement with its identifying labels.
+type LabeledStacks struct {
+	Workload string
+	Machine  string
+	Stacks   *core.MultiStack
+}

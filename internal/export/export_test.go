@@ -1,0 +1,113 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"perfstacks/internal/core"
+)
+
+func sampleStacks() *core.MultiStack {
+	ms := &core.MultiStack{}
+	for _, st := range core.Stages() {
+		s := core.Stack{Stage: st, Width: 4, Cycles: 1000, Instructions: 2000}
+		s.Comp[core.CompBase] = 500
+		s.Comp[core.CompDCache] = 300
+		s.Comp[core.CompBpred] = 200
+		ms.Stacks[st] = s
+	}
+	return ms
+}
+
+func TestMultiStackToJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MultiStackToJSON(&buf, sampleStacks(), "mcf", "BDW"); err != nil {
+		t.Fatal(err)
+	}
+	var doc MultiStackJSON
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Workload != "mcf" || doc.Machine != "BDW" {
+		t.Fatal("labels lost")
+	}
+	if len(doc.Stacks) != 3 {
+		t.Fatalf("%d stacks, want 3", len(doc.Stacks))
+	}
+	if doc.Stacks[0].TotalCPI != 0.5 {
+		t.Fatalf("TotalCPI = %v, want 0.5", doc.Stacks[0].TotalCPI)
+	}
+	if doc.Stacks[0].Components["Dcache"] != 0.15 {
+		t.Fatalf("Dcache CPI = %v, want 0.15", doc.Stacks[0].Components["Dcache"])
+	}
+}
+
+func TestFLOPSToJSON(t *testing.T) {
+	fs := core.FLOPSStack{Cycles: 100, K: 2, V: 16, FLOPs: 3200}
+	fs.Comp[core.FBase] = 50
+	fs.Comp[core.FMem] = 50
+	var buf bytes.Buffer
+	if err := FLOPSToJSON(&buf, &fs); err != nil {
+		t.Fatal(err)
+	}
+	var doc FLOPSStackJSON
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Components["Base"] != 0.5 || doc.Components["Memory"] != 0.5 {
+		t.Fatalf("components = %v", doc.Components)
+	}
+	if doc.Units != 2 || doc.Lanes != 16 {
+		t.Fatal("geometry lost")
+	}
+}
+
+func TestMultiStackToCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MultiStackToCSV(&buf, sampleStacks(), "mcf", "BDW"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	want := 1 + 3*int(core.NumComponents)
+	if len(recs) != want {
+		t.Fatalf("%d records, want %d", len(recs), want)
+	}
+	if recs[0][3] != "component" {
+		t.Fatal("header wrong")
+	}
+	// Find the dispatch/Dcache row.
+	found := false
+	for _, r := range recs[1:] {
+		if r[2] == "dispatch" && r[3] == "Dcache" {
+			found = true
+			if !strings.HasPrefix(r[4], "0.15") {
+				t.Fatalf("Dcache CPI cell = %s", r[4])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dispatch/Dcache row missing")
+	}
+}
+
+func TestStacksToCSVMultipleRows(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []LabeledStacks{
+		{Workload: "a", Machine: "BDW", Stacks: sampleStacks()},
+		{Workload: "b", Machine: "KNL", Stacks: sampleStacks()},
+	}
+	if err := StacksToCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := csv.NewReader(&buf).ReadAll()
+	want := 1 + 2*3*int(core.NumComponents)
+	if len(recs) != want {
+		t.Fatalf("%d records, want %d", len(recs), want)
+	}
+}

@@ -1,0 +1,90 @@
+// Package mem models main memory as a fixed-latency, bandwidth-limited
+// device. Bandwidth is expressed as a minimum cycle spacing between line
+// transfers; when requests arrive faster than the spacing allows, they queue
+// and their completion times slide out. This is the classic "scaled uncore"
+// memory model: the paper divides socket memory bandwidth by the core count
+// to mimic a fully loaded processor, which here simply raises the per-line
+// spacing.
+package mem
+
+// Request describes one line-sized memory access.
+type Request struct {
+	// Line is the line-aligned address.
+	Line uint64
+	// At is the cycle the request reaches memory.
+	At int64
+	// Write marks writeback traffic.
+	Write bool
+	// Prefetch marks hardware prefetches (accounted separately in stats).
+	Prefetch bool
+}
+
+// Config sizes the memory model.
+type Config struct {
+	// Latency is the idle (unloaded) access latency in core cycles.
+	Latency int64
+	// CyclesPerLine is the minimum spacing between line transfers, i.e. the
+	// inverse bandwidth in core cycles per cache line.
+	CyclesPerLine int64
+	// MaxQueue bounds how far the bandwidth queue may run ahead; requests
+	// that would exceed it are still served but the queue depth statistic
+	// saturates. Zero means unbounded.
+	MaxQueue int64
+}
+
+// Stats counts memory traffic.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	Prefetches uint64
+	// StallCycles accumulates queueing delay beyond the idle latency.
+	StallCycles int64
+}
+
+// Memory is the DRAM model. It is not safe for concurrent use; the SMP
+// harness steps cores round-robin on a single goroutine.
+type Memory struct {
+	cfg      Config
+	nextSlot int64
+	// Stats is exported for experiment reporting.
+	Stats Stats
+}
+
+// New builds a Memory from cfg. A zero CyclesPerLine disables the bandwidth
+// limit.
+func New(cfg Config) *Memory {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 1
+	}
+	return &Memory{cfg: cfg}
+}
+
+// Config returns the active configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Access serves one request and returns the cycle its data is available.
+func (m *Memory) Access(req Request) int64 {
+	switch {
+	case req.Write:
+		m.Stats.Writes++
+	case req.Prefetch:
+		m.Stats.Prefetches++
+	default:
+		m.Stats.Reads++
+	}
+	start := req.At
+	if m.cfg.CyclesPerLine > 0 {
+		if m.nextSlot > start {
+			m.Stats.StallCycles += m.nextSlot - start
+			start = m.nextSlot
+		}
+		m.nextSlot = start + m.cfg.CyclesPerLine
+	}
+	return start + m.cfg.Latency
+}
+
+// Reset clears queue state and statistics.
+func (m *Memory) Reset() {
+	m.nextSlot = 0
+	m.Stats = Stats{}
+}

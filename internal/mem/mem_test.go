@@ -1,0 +1,98 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdleLatency(t *testing.T) {
+	m := New(Config{Latency: 100})
+	if got := m.Access(Request{Line: 1, At: 50}); got != 150 {
+		t.Fatalf("DoneAt = %d, want 150", got)
+	}
+}
+
+func TestBandwidthSpacing(t *testing.T) {
+	m := New(Config{Latency: 100, CyclesPerLine: 10})
+	a := m.Access(Request{Line: 1, At: 0})
+	b := m.Access(Request{Line: 2, At: 0})
+	c := m.Access(Request{Line: 3, At: 0})
+	if a != 100 || b != 110 || c != 120 {
+		t.Fatalf("DoneAt = %d,%d,%d; want 100,110,120", a, b, c)
+	}
+	if m.Stats.StallCycles != 10+20 {
+		t.Fatalf("stall cycles = %d, want 30", m.Stats.StallCycles)
+	}
+}
+
+func TestBandwidthIdleGapsDoNotAccumulate(t *testing.T) {
+	m := New(Config{Latency: 100, CyclesPerLine: 10})
+	m.Access(Request{Line: 1, At: 0})
+	// A request long after the previous one pays no queueing.
+	if got := m.Access(Request{Line: 2, At: 1000}); got != 1100 {
+		t.Fatalf("DoneAt = %d, want 1100", got)
+	}
+}
+
+func TestUnlimitedBandwidth(t *testing.T) {
+	m := New(Config{Latency: 50})
+	a := m.Access(Request{Line: 1, At: 0})
+	b := m.Access(Request{Line: 2, At: 0})
+	if a != 50 || b != 50 {
+		t.Fatalf("unlimited bandwidth should not space requests: %d,%d", a, b)
+	}
+}
+
+func TestTrafficStats(t *testing.T) {
+	m := New(Config{Latency: 10})
+	m.Access(Request{Line: 1, At: 0})
+	m.Access(Request{Line: 2, At: 0, Write: true})
+	m.Access(Request{Line: 3, At: 0, Prefetch: true})
+	if m.Stats.Reads != 1 || m.Stats.Writes != 1 || m.Stats.Prefetches != 1 {
+		t.Fatalf("stats = %+v", m.Stats)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New(Config{Latency: 10, CyclesPerLine: 5})
+	m.Access(Request{Line: 1, At: 0})
+	m.Reset()
+	if m.Stats.Reads != 0 {
+		t.Fatal("Reset should clear stats")
+	}
+	if got := m.Access(Request{Line: 2, At: 0}); got != 10 {
+		t.Fatalf("Reset should clear the bandwidth queue: DoneAt = %d", got)
+	}
+}
+
+func TestZeroLatencyClamped(t *testing.T) {
+	m := New(Config{})
+	if got := m.Access(Request{Line: 1, At: 7}); got != 8 {
+		t.Fatalf("zero-config access DoneAt = %d, want 8 (latency clamps to 1)", got)
+	}
+}
+
+// Property: completion is never before request time plus latency, and
+// consecutive same-time requests complete in non-decreasing order.
+func TestMonotoneCompletionProperty(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		m := New(Config{Latency: 20, CyclesPerLine: 3})
+		at := int64(0)
+		last := int64(0)
+		for i, g := range gaps {
+			at += int64(g % 8)
+			done := m.Access(Request{Line: uint64(i), At: at})
+			if done < at+20 {
+				return false
+			}
+			if done < last {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package sim ties the substrates together: it instantiates a machine
+// configuration (core, predictor, hierarchy), runs a workload trace through
+// it with the requested accountants attached, and returns the measured
+// stacks and statistics. All experiment drivers and examples build on this
+// package.
+package sim
+
+import (
+	"perfstacks/internal/bpred"
+	"perfstacks/internal/cache"
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/cpu"
+	"perfstacks/internal/mem"
+	"perfstacks/internal/trace"
+)
+
+// Options selects what to measure during a run.
+type Options struct {
+	// CPI enables multi-stage CPI stack accounting.
+	CPI bool
+	// FLOPS enables FLOPS stack accounting.
+	FLOPS bool
+	// MemDepth enables the per-level D-cache breakdown accountant.
+	MemDepth bool
+	// Structural enables the issue-stage structural stall breakdown.
+	Structural bool
+	// Fetch enables the optional fetch/decode-stage CPI stack.
+	Fetch bool
+	// Scheme selects the wrong-path accounting scheme (§III-B).
+	Scheme core.WrongPathScheme
+	// WrongPath selects the pipeline's wrong-path model.
+	WrongPath cpu.WrongPathMode
+	// WarmupUops runs the first N uops without accounting, warming caches
+	// and predictors as the paper's fast-forward phase does.
+	WarmupUops uint64
+}
+
+// Default measures multi-stage CPI stacks with oracle wrong-path handling on
+// a functional-first pipeline — the paper's primary setup.
+func Default() Options {
+	return Options{CPI: true}
+}
+
+// Result holds everything measured in one run.
+type Result struct {
+	// Machine names the configuration.
+	Machine string
+	// Stacks is the multi-stage CPI stack (nil unless Options.CPI).
+	Stacks *core.MultiStack
+	// FLOPS is the FLOPS stack (zero unless Options.FLOPS).
+	FLOPS core.FLOPSStack
+	// MemDepth is the per-level D-cache breakdown (zero unless
+	// Options.MemDepth).
+	MemDepth core.MemDepthStack
+	// Structural is the issue-stage structural breakdown (zero unless
+	// Options.Structural).
+	Structural core.StructuralStack
+	// Fetch is the fetch-stage CPI stack (zero unless Options.Fetch).
+	Fetch core.Stack
+	// Stats is the pipeline statistics.
+	Stats cpu.Stats
+	// Bpred is the branch predictor statistics.
+	Bpred bpred.Stats
+}
+
+// CPIOf is the run's measured CPI: post-warmup when CPI stacks were
+// collected, whole-run otherwise.
+func (r *Result) CPIOf() float64 {
+	if r.Stacks != nil {
+		return r.Stacks.Stacks[0].TotalCPI()
+	}
+	return r.Stats.CPI()
+}
+
+// newPredictor builds the predictor for a machine (perfect when idealized).
+func newPredictor(m config.Machine) bpred.Predictor {
+	if m.Core.PerfectBpred {
+		return bpred.Perfect{}
+	}
+	return bpred.NewTournament(m.Bpred)
+}
+
+// Run simulates tr on machine m and returns the measurements.
+func Run(m config.Machine, tr trace.Reader, opts Options) Result {
+	return RunCustom(m, tr, opts, core.Options{
+		Width:  m.Core.MinWidth(),
+		Scheme: opts.Scheme,
+	})
+}
+
+// RunCustom is Run with explicit accountant options; the ablation studies
+// use it to disable the paper's width normalization.
+func RunCustom(m config.Machine, tr trace.Reader, opts Options, acctOpts core.Options) Result {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	m.Core.WrongPath = opts.WrongPath
+	hier := cache.NewHierarchy(m.Hierarchy)
+	pred := newPredictor(m)
+	c := cpu.New(m.Core, hier, pred, tr)
+
+	var cpiAcct *core.MultiStageAccountant
+	if opts.CPI {
+		cpiAcct = core.NewMultiStageAccountant(acctOpts)
+		c.Attach(cpiAcct)
+	}
+	var flopsAcct *core.FLOPSAccountant
+	if opts.FLOPS {
+		flopsAcct = core.NewFLOPSAccountant(m.Core.VFPUnits, m.Core.VectorLanes)
+		c.Attach(flopsAcct)
+	}
+	var depthAcct *core.MemDepthAccountant
+	if opts.MemDepth {
+		depthAcct = core.NewMemDepthAccountant(m.Core.MinWidth())
+		c.Attach(depthAcct)
+	}
+	var structAcct *core.StructuralAccountant
+	if opts.Structural {
+		structAcct = core.NewStructuralAccountant(m.Core.MinWidth())
+		c.Attach(structAcct)
+	}
+	var fetchAcct *core.FetchAccountant
+	if opts.Fetch {
+		fetchAcct = core.NewFetchAccountant(m.Core.MinWidth())
+		c.Attach(fetchAcct)
+	}
+	c.SetWarmup(opts.WarmupUops)
+
+	stats := c.Run()
+
+	res := Result{Machine: m.Name, Stats: stats}
+	if cpiAcct != nil {
+		// Finalize with the accountant's own post-warmup commit count.
+		res.Stacks = cpiAcct.Finalize(0)
+	}
+	if flopsAcct != nil {
+		res.FLOPS = flopsAcct.Finalize()
+	}
+	if depthAcct != nil {
+		res.MemDepth = depthAcct.Finalize()
+	}
+	if structAcct != nil {
+		res.Structural = structAcct.Finalize()
+	}
+	if fetchAcct != nil {
+		res.Fetch = fetchAcct.Finalize()
+	}
+	if t, ok := pred.(*bpred.Tournament); ok {
+		res.Bpred = t.Stats
+	}
+	return res
+}
+
+// SMPResult aggregates a multi-core run: per-component averages over the
+// homogeneous threads, as the paper aggregates (§IV, last ¶).
+type SMPResult struct {
+	Machine string
+	// Stacks is the component-wise average multi-stage CPI stack.
+	Stacks *core.MultiStack
+	// FLOPS is the component-wise average FLOPS stack.
+	FLOPS core.FLOPSStack
+	// PerCore holds per-core pipeline statistics.
+	PerCore []cpu.Stats
+}
+
+// TotalFLOPs sums FLOPs over all cores.
+func (r *SMPResult) TotalFLOPs() uint64 {
+	var t uint64
+	for _, s := range r.PerCore {
+		t += s.FLOPs
+	}
+	return t
+}
+
+// RunSMP simulates n homogeneous cores sharing an L3 slice pool and memory.
+// makeTrace builds the per-thread trace (typically the same generator seeded
+// per thread). The shared L3 capacity is the per-core slice times n, so the
+// aggregate uncore matches the paper's scaled-uncore methodology.
+func RunSMP(m config.Machine, n int, makeTrace func(tid int) trace.Reader, opts Options) SMPResult {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	m.Core.WrongPath = opts.WrongPath
+
+	// Shared uncore: one L3 (n slices) over one memory whose bandwidth is n
+	// per-core shares.
+	l3cfg := m.Hierarchy.L3
+	l3cfg.SizeBytes *= n
+	l3cfg.MSHRs *= n
+	memCfg := m.Hierarchy.Mem
+	if memCfg.CyclesPerLine > 0 {
+		memCfg.CyclesPerLine /= int64(n)
+		if memCfg.CyclesPerLine < 1 {
+			memCfg.CyclesPerLine = 1
+		}
+	}
+	sharedMem := mem.New(memCfg)
+	sharedL3 := cache.New(l3cfg, cache.MemLevel(sharedMem))
+
+	cores := make([]*cpu.Core, n)
+	cpiAccts := make([]*core.MultiStageAccountant, n)
+	flopsAccts := make([]*core.FLOPSAccountant, n)
+	for i := 0; i < n; i++ {
+		hier := cache.NewHierarchyShared(m.Hierarchy, sharedL3)
+		pred := newPredictor(m)
+		c := cpu.New(m.Core, hier, pred, makeTrace(i))
+		if opts.CPI {
+			cpiAccts[i] = core.NewMultiStageAccountant(core.Options{
+				Width:  m.Core.MinWidth(),
+				Scheme: opts.Scheme,
+			})
+			c.Attach(cpiAccts[i])
+		}
+		if opts.FLOPS {
+			flopsAccts[i] = core.NewFLOPSAccountant(m.Core.VFPUnits, m.Core.VectorLanes)
+			c.Attach(flopsAccts[i])
+		}
+		c.SetWarmup(opts.WarmupUops)
+		cores[i] = c
+	}
+
+	smp := cpu.NewSMP(cores)
+	smp.Run()
+
+	res := SMPResult{Machine: m.Name, PerCore: make([]cpu.Stats, n)}
+	for i, c := range cores {
+		res.PerCore[i] = c.Stats
+	}
+	if opts.CPI {
+		stacks := make([][]core.Stack, core.NumStages)
+		for st := range stacks {
+			stacks[st] = make([]core.Stack, n)
+		}
+		for i := range cores {
+			ms := cpiAccts[i].Finalize(0)
+			for st := core.Stage(0); st < core.NumStages; st++ {
+				stacks[st][i] = ms.Stacks[st]
+			}
+		}
+		agg := &core.MultiStack{}
+		for st := core.Stage(0); st < core.NumStages; st++ {
+			agg.Stacks[st] = core.AverageStacks(stacks[st])
+		}
+		res.Stacks = agg
+	}
+	if opts.FLOPS {
+		fs := make([]core.FLOPSStack, n)
+		for i := range flopsAccts {
+			fs[i] = flopsAccts[i].Finalize()
+		}
+		res.FLOPS = core.AverageFLOPSStacks(fs)
+	}
+	return res
+}

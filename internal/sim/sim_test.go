@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/cpu"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+func mcfTrace(n uint64) trace.Reader {
+	p, _ := workload.SPECProfile("mcf")
+	return trace.NewLimit(workload.NewGenerator(p), n)
+}
+
+func TestRunProducesStacks(t *testing.T) {
+	res := Run(config.BDW(), mcfTrace(30000), Default())
+	if res.Stacks == nil {
+		t.Fatal("CPI stacks requested but missing")
+	}
+	if res.Stats.Committed != 30000 {
+		t.Fatalf("committed %d, want 30000", res.Stats.Committed)
+	}
+	for _, st := range core.Stages() {
+		s := res.Stacks.Stack(st)
+		if math.Abs(s.Sum()-float64(s.Cycles)) > 1e-6*float64(s.Cycles)+1e-3 {
+			t.Errorf("%s stack sum %.3f != cycles %d", st, s.Sum(), s.Cycles)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(config.KNL(), mcfTrace(20000), Default())
+	b := Run(config.KNL(), mcfTrace(20000), Default())
+	if a.Stats.Cycles != b.Stats.Cycles {
+		t.Fatalf("cycles differ: %d vs %d", a.Stats.Cycles, b.Stats.Cycles)
+	}
+	for _, st := range core.Stages() {
+		for c := core.Component(0); c < core.NumComponents; c++ {
+			if a.Stacks.Stack(st).Comp[c] != b.Stacks.Stack(st).Comp[c] {
+				t.Fatalf("%s %s differs across identical runs", st, c)
+			}
+		}
+	}
+}
+
+func TestWarmupShrinksMeasuredWindow(t *testing.T) {
+	opts := Default()
+	opts.WarmupUops = 10000
+	res := Run(config.BDW(), mcfTrace(30000), opts)
+	insts := res.Stacks.Stack(core.StageDispatch).Instructions
+	if insts >= 25000 || insts == 0 {
+		t.Fatalf("measured instructions = %d, want ~20000 after warm-up", insts)
+	}
+}
+
+func TestFLOPSCollection(t *testing.T) {
+	m := config.KNL()
+	g := workload.NewGemm(workload.StyleKNL, workload.GemmTrain()[2], m.Core.VectorLanes, 1, 0)
+	res := Run(m, trace.NewLimit(g, 30000), Options{CPI: true, FLOPS: true})
+	if res.FLOPS.Cycles == 0 {
+		t.Fatal("FLOPS stack not measured")
+	}
+	if res.FLOPS.Comp[core.FBase] <= 0 {
+		t.Fatal("GEMM should accumulate FLOPS base cycles")
+	}
+	if math.Abs(res.FLOPS.Sum()-float64(res.FLOPS.Cycles)) > 1e-6*float64(res.FLOPS.Cycles)+1e-3 {
+		t.Fatalf("FLOPS stack sum %.3f != cycles %d", res.FLOPS.Sum(), res.FLOPS.Cycles)
+	}
+}
+
+func TestBpredStatsReported(t *testing.T) {
+	res := Run(config.BDW(), mcfTrace(30000), Default())
+	if res.Bpred.Branches == 0 {
+		t.Fatal("branch statistics missing")
+	}
+}
+
+func TestPerfectBpredMachineUsesPerfectPredictor(t *testing.T) {
+	m := config.BDW().Apply(config.Idealize{PerfectBpred: true})
+	res := Run(m, mcfTrace(30000), Default())
+	if res.Bpred.Branches != 0 {
+		t.Fatal("perfect predictor should leave tournament stats empty")
+	}
+	if res.Stats.Mispredicts != 0 {
+		t.Fatal("perfect bpred must not mispredict")
+	}
+}
+
+func TestRunSMPAggregates(t *testing.T) {
+	m := config.SKX()
+	opts := Options{CPI: true, FLOPS: true}
+	res := RunSMP(m, 3, func(tid int) trace.Reader {
+		k := workload.NewConv(workload.StyleSKX, workload.ConvTrain()[6],
+			workload.ConvFwd, m.Core.VectorLanes, uint64(tid)+1, 4000)
+		return trace.NewLimit(k, 20000)
+	}, opts)
+	if len(res.PerCore) != 3 {
+		t.Fatalf("per-core stats = %d, want 3", len(res.PerCore))
+	}
+	for i, s := range res.PerCore {
+		if s.Committed != 20000 {
+			t.Fatalf("core %d committed %d, want 20000", i, s.Committed)
+		}
+	}
+	if res.Stacks == nil || res.Stacks.Stack(core.StageIssue).Cycles == 0 {
+		t.Fatal("aggregated stacks missing")
+	}
+	if res.TotalFLOPs() == 0 {
+		t.Fatal("no FLOPs recorded")
+	}
+}
+
+func TestRunSMPBarriersProduceUnsched(t *testing.T) {
+	m := config.SKX()
+	res := RunSMP(m, 2, func(tid int) trace.Reader {
+		k := workload.NewConv(workload.StyleSKX, workload.ConvTrain()[6],
+			workload.ConvFwd, m.Core.VectorLanes, uint64(tid)+1, 3000)
+		k.SetExtraOverhead(tid * 3) // skewed paces force barrier waits
+		return trace.NewLimit(k, 20000)
+	}, Options{CPI: true})
+	uns := res.Stacks.Stack(core.StageIssue).Comp[core.CompUnsched]
+	if uns <= 0 {
+		t.Fatal("skewed threads at barriers should accumulate Unsched cycles")
+	}
+}
+
+func TestWrongPathSynthOption(t *testing.T) {
+	p, _ := workload.SPECProfile("deepsjeng")
+	opts := Options{CPI: true, Scheme: core.WrongPathSimple, WrongPath: cpu.WrongPathSynth}
+	res := Run(config.BDW(), trace.NewLimit(workload.NewGenerator(p), 30000), opts)
+	if res.Stats.WrongPathUops == 0 {
+		t.Fatal("synth wrong-path mode should produce wrong-path uops")
+	}
+	if res.Stats.Committed != 30000 {
+		t.Fatalf("committed %d, want 30000", res.Stats.Committed)
+	}
+}
+
+func TestCPIOfPrefersMeasuredWindow(t *testing.T) {
+	opts := Default()
+	opts.WarmupUops = 10000
+	res := Run(config.BDW(), mcfTrace(30000), opts)
+	whole := res.Stats.CPI()
+	measured := res.CPIOf()
+	if measured == whole {
+		t.Skip("warm-up CPI happened to equal steady state")
+	}
+	if measured <= 0 {
+		t.Fatal("measured CPI should be positive")
+	}
+}
+
+func TestFetchStackBracketsDispatch(t *testing.T) {
+	opts := Default()
+	opts.Fetch = true
+	opts.WarmupUops = 10000
+	res := Run(config.BDW(), mcfTrace(60000), opts)
+	if res.Fetch.Cycles == 0 {
+		t.Fatal("fetch stack not measured")
+	}
+	// The fetch stack accounts frontend penalties at least as early as the
+	// dispatch stack: fetch bpred >= dispatch bpred (§III-A ordering logic
+	// extended one stage earlier).
+	fb := res.Fetch.CPI(core.CompBpred)
+	db := res.Stacks.Stack(core.StageDispatch).CPI(core.CompBpred)
+	if fb+0.02 < db {
+		t.Fatalf("fetch bpred %.3f below dispatch %.3f", fb, db)
+	}
+	// Total CPI agrees across all stacks.
+	if d := res.Fetch.TotalCPI() - res.Stacks.Stack(core.StageCommit).TotalCPI(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("fetch total CPI diverges by %v", d)
+	}
+}
+
+func TestStructuralAndMemDepthOptions(t *testing.T) {
+	opts := Default()
+	opts.MemDepth = true
+	opts.Structural = true
+	res := Run(config.BDW(), mcfTrace(40000), opts)
+	if res.MemDepth.Cycles == 0 || res.Structural.Cycles == 0 {
+		t.Fatal("side accountants not run")
+	}
+	// The memory breakdown must not exceed the commit D-cache component.
+	commitDC := res.Stacks.Stack(core.StageCommit).Comp[core.CompDCache]
+	if res.MemDepth.CommitTotal() > commitDC+1e-6 {
+		t.Fatalf("breakdown %.1f exceeds commit Dcache %.1f", res.MemDepth.CommitTotal(), commitDC)
+	}
+}

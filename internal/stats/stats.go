@@ -1,0 +1,103 @@
+// Package stats provides the summary statistics the experiment drivers use:
+// five-number box summaries (for the paper's Figure 2 error box plots) and
+// simple aggregation helpers.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Box is a five-number summary: whiskers at the extreme values, box bounds
+// at the first and third quartile, and the median — matching the paper's
+// box plot convention ("Boxes are bound by the first and third quartile, the
+// median is the line in the box, and the whiskers extend to the extreme
+// values").
+type Box struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// Quantile returns the q-quantile (0..1) of sorted values with linear
+// interpolation (R-7, the spreadsheet default).
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Summarize computes the box summary of values (not required sorted).
+func Summarize(values []float64) Box {
+	if len(values) == 0 {
+		return Box{}
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return Box{
+		Min:    s[0],
+		Q1:     Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		Q3:     Quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		N:      len(s),
+	}
+}
+
+// IQR returns the interquartile range.
+func (b Box) IQR() float64 { return b.Q3 - b.Q1 }
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var t float64
+	for _, v := range values {
+		t += v
+	}
+	return t / float64(len(values))
+}
+
+// MeanAbs returns the mean of absolute values.
+func MeanAbs(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var t float64
+	for _, v := range values {
+		t += math.Abs(v)
+	}
+	return t / float64(len(values))
+}
+
+// Stddev returns the sample standard deviation (0 for n < 2).
+func Stddev(values []float64) float64 {
+	n := len(values)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(values)
+	var ss float64
+	for _, v := range values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileKnownValues(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Quantile(s, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileSingleton(t *testing.T) {
+	if Quantile([]float64{7}, 0.5) != 7 {
+		t.Fatal("singleton quantile should be the value")
+	}
+}
+
+func TestQuantileEmptyIsNaN(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := Summarize([]float64{5, 1, 3, 2, 4})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.N != 5 {
+		t.Fatalf("box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("quartiles = %v/%v, want 2/4", b.Q1, b.Q3)
+	}
+	if b.IQR() != 2 {
+		t.Fatalf("IQR = %v, want 2", b.IQR())
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Summarize must not sort the caller's slice")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if b := Summarize(nil); b.N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestMeanAndMeanAbs(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if MeanAbs([]float64{-1, 2, -3}) != 2 {
+		t.Fatal("MeanAbs wrong")
+	}
+	if Mean(nil) != 0 || MeanAbs(nil) != 0 {
+		t.Fatal("empty means should be 0")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("Stddev = %v, want ~2.14", got)
+	}
+	if Stddev([]float64{1}) != 0 {
+		t.Fatal("singleton stddev should be 0")
+	}
+}
+
+// Property: the box summary brackets every input value and quartiles are
+// ordered.
+func TestBoxOrderingProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		b := Summarize(clean)
+		if !(b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max) {
+			return false
+		}
+		s := append([]float64(nil), clean...)
+		sort.Float64s(s)
+		return b.Min == s[0] && b.Max == s[len(s)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

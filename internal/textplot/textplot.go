@@ -1,0 +1,250 @@
+// Package textplot renders experiment results as plain-text tables, stacked
+// bars and box plots, so every paper table/figure regenerates directly into
+// a terminal or a log file.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders rows with aligned columns. The first row is the header.
+type Table struct {
+	rows [][]string
+}
+
+// NewTable builds a table with the given header.
+func NewTable(header ...string) *Table {
+	t := &Table{}
+	t.rows = append(t.rows, header)
+	return t
+}
+
+// Row appends a data row; cells beyond the header width are kept.
+func (t *Table) Row(cells ...string) *Table {
+	t.rows = append(t.rows, cells)
+	return t
+}
+
+// Rowf appends a row where each cell is formatted with fmt.Sprint.
+func (t *Table) Rowf(cells ...interface{}) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	return t.Row(row...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := []int{}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Bar renders one horizontal stacked bar of labeled segments scaled so that
+// total maps to width runes. Each segment is drawn with its own rune.
+func Bar(segments []Segment, total float64, width int) string {
+	if total <= 0 || width <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	used := 0
+	for _, s := range segments {
+		n := int(s.Value/total*float64(width) + 0.5)
+		if used+n > width {
+			n = width - used
+		}
+		if n <= 0 {
+			continue
+		}
+		b.WriteString(strings.Repeat(string(s.Rune), n))
+		used += n
+	}
+	for used < width {
+		b.WriteString(" ")
+		used++
+	}
+	return b.String()
+}
+
+// Segment is one stacked-bar piece.
+type Segment struct {
+	Label string
+	Value float64
+	Rune  rune
+}
+
+// StackRunes provides distinguishable fill runes for up to 12 segments.
+var StackRunes = []rune{'#', '%', '@', '+', '=', 'o', '*', ':', '~', '-', '.', '^'}
+
+// StackedBars renders multiple labeled stacked bars on a shared scale with a
+// legend. Values are in arbitrary units; max sets the scale (0 = use the
+// largest bar total).
+func StackedBars(names []string, bars [][]Segment, max float64, width int) string {
+	if max <= 0 {
+		for _, segs := range bars {
+			var t float64
+			for _, s := range segs {
+				t += s.Value
+			}
+			if t > max {
+				max = t
+			}
+		}
+	}
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	for i, segs := range bars {
+		var total float64
+		for _, s := range segs {
+			total += s.Value
+		}
+		fmt.Fprintf(&b, "%-*s |%s| %.3f\n", nameW, names[i], Bar(segs, max, width), total)
+	}
+	// Legend (from the first bar that has each label).
+	seen := map[string]rune{}
+	order := []string{}
+	for _, segs := range bars {
+		for _, s := range segs {
+			if _, ok := seen[s.Label]; !ok && s.Value > 0 {
+				seen[s.Label] = s.Rune
+				order = append(order, s.Label)
+			}
+		}
+	}
+	if len(order) > 0 {
+		b.WriteString(strings.Repeat(" ", nameW) + "  legend: ")
+		for i, l := range order {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%c=%s", seen[l], l)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// BoxPlot renders labeled five-number summaries on a shared numeric axis.
+type BoxPlot struct {
+	names   []string
+	mins    []float64
+	q1s     []float64
+	medians []float64
+	q3s     []float64
+	maxs    []float64
+}
+
+// NewBoxPlot builds an empty box plot.
+func NewBoxPlot() *BoxPlot { return &BoxPlot{} }
+
+// Add appends one box (min, q1, median, q3, max).
+func (bp *BoxPlot) Add(name string, min, q1, med, q3, max float64) *BoxPlot {
+	bp.names = append(bp.names, name)
+	bp.mins = append(bp.mins, min)
+	bp.q1s = append(bp.q1s, q1)
+	bp.medians = append(bp.medians, med)
+	bp.q3s = append(bp.q3s, q3)
+	bp.maxs = append(bp.maxs, max)
+	return bp
+}
+
+// String renders the plot with one row per box:
+//
+//	name |----[==|==]------| min/q1/med/q3/max
+func (bp *BoxPlot) String() string {
+	if len(bp.names) == 0 {
+		return ""
+	}
+	lo, hi := bp.mins[0], bp.maxs[0]
+	for i := range bp.names {
+		if bp.mins[i] < lo {
+			lo = bp.mins[i]
+		}
+		if bp.maxs[i] > hi {
+			hi = bp.maxs[i]
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	const width = 51
+	scale := func(v float64) int {
+		x := int((v - lo) / (hi - lo) * float64(width-1))
+		if x < 0 {
+			x = 0
+		}
+		if x >= width {
+			x = width - 1
+		}
+		return x
+	}
+	nameW := 0
+	for _, n := range bp.names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  scale [%.3f .. %.3f]\n", nameW, "", lo, hi)
+	for i := range bp.names {
+		row := make([]rune, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		for j := scale(bp.mins[i]); j <= scale(bp.maxs[i]); j++ {
+			row[j] = '-'
+		}
+		for j := scale(bp.q1s[i]); j <= scale(bp.q3s[i]); j++ {
+			row[j] = '='
+		}
+		row[scale(bp.mins[i])] = '|'
+		row[scale(bp.maxs[i])] = '|'
+		row[scale(bp.q1s[i])] = '['
+		row[scale(bp.q3s[i])] = ']'
+		row[scale(bp.medians[i])] = '*'
+		fmt.Fprintf(&b, "%-*s %s  %.3f/%.3f/%.3f/%.3f/%.3f\n",
+			nameW, bp.names[i], string(row),
+			bp.mins[i], bp.q1s[i], bp.medians[i], bp.q3s[i], bp.maxs[i])
+	}
+	return b.String()
+}

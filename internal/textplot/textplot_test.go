@@ -1,0 +1,107 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("name", "value").Row("alpha", "1").Row("b", "22222")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4 (header, rule, 2 rows)", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Fatal("second line should be the header rule")
+	}
+	if len(lines[0]) != len(lines[2]) && !strings.Contains(lines[2], "alpha") {
+		t.Fatal("rows should be aligned with the header")
+	}
+}
+
+func TestTableRowf(t *testing.T) {
+	out := NewTable("x").Rowf(1.23456).Rowf("str").Rowf(42).String()
+	if !strings.Contains(out, "1.235") {
+		t.Fatalf("floats should render with 3 decimals: %q", out)
+	}
+	if !strings.Contains(out, "str") || !strings.Contains(out, "42") {
+		t.Fatal("non-floats should render with Sprint")
+	}
+}
+
+func TestBarScaling(t *testing.T) {
+	segs := []Segment{
+		{Label: "a", Value: 1, Rune: '#'},
+		{Label: "b", Value: 1, Rune: '%'},
+	}
+	bar := Bar(segs, 2, 10)
+	if len([]rune(bar)) != 10 {
+		t.Fatalf("bar width = %d, want 10", len(bar))
+	}
+	if strings.Count(bar, "#") != 5 || strings.Count(bar, "%") != 5 {
+		t.Fatalf("bar = %q, want 5/5 split", bar)
+	}
+}
+
+func TestBarNeverOverflows(t *testing.T) {
+	segs := []Segment{
+		{Label: "a", Value: 0.34, Rune: '#'},
+		{Label: "b", Value: 0.33, Rune: '%'},
+		{Label: "c", Value: 0.33, Rune: '@'},
+	}
+	bar := Bar(segs, 1.0, 7)
+	if len([]rune(bar)) != 7 {
+		t.Fatalf("rounded bar width = %d, want exactly 7", len([]rune(bar)))
+	}
+}
+
+func TestBarDegenerate(t *testing.T) {
+	if Bar(nil, 0, 10) != "" || Bar(nil, 1, 0) != "" {
+		t.Fatal("degenerate bars should be empty")
+	}
+}
+
+func TestStackedBarsLegend(t *testing.T) {
+	out := StackedBars(
+		[]string{"x", "y"},
+		[][]Segment{
+			{{Label: "base", Value: 1, Rune: '#'}},
+			{{Label: "base", Value: 2, Rune: '#'}, {Label: "stall", Value: 1, Rune: '%'}},
+		}, 0, 30)
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "#=base") {
+		t.Fatalf("missing legend: %q", out)
+	}
+	if !strings.Contains(out, "%=stall") {
+		t.Fatal("legend should include all non-zero labels")
+	}
+}
+
+func TestBoxPlotRendering(t *testing.T) {
+	out := NewBoxPlot().
+		Add("a", 0, 1, 2, 3, 4).
+		Add("b", -1, 0, 0.5, 1, 2).
+		String()
+	if !strings.Contains(out, "a ") || !strings.Contains(out, "b ") {
+		t.Fatal("box plot should label rows")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("box plot should mark medians")
+	}
+	if !strings.Contains(out, "scale [") {
+		t.Fatal("box plot should print the scale")
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	if NewBoxPlot().String() != "" {
+		t.Fatal("empty box plot should render nothing")
+	}
+}
+
+func TestBoxPlotDegenerateRange(t *testing.T) {
+	out := NewBoxPlot().Add("flat", 1, 1, 1, 1, 1).String()
+	if out == "" {
+		t.Fatal("flat distribution should still render")
+	}
+}

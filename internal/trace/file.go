@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format. Traces captured from real programs (e.g. via a
+// Pin/DynamoRIO tool) can be converted into this format and replayed through
+// the simulator; conversely, the synthetic generators can be materialized to
+// disk for exact sharing between experiments.
+//
+// Layout: an 8-byte magic+version header, then one fixed-size 64-byte record
+// per uop, little-endian:
+//
+//	offset size field
+//	0      8    Seq
+//	8      8    PC
+//	16     8    Addr
+//	24     8    Target
+//	32     8    Src[0]
+//	40     8    Src[1]
+//	48     8    Src[2]
+//	56     1    Op
+//	57     1    flags (bit0 Taken, bit1 WrongPath)
+//	58     1    VecLanes
+//	59     1    MaskedLanes
+//	60     1    MicrocodeCycles
+//	61     3    reserved (zero)
+
+// fileMagic identifies trace files ("PSTRC" + version 1).
+var fileMagic = [8]byte{'P', 'S', 'T', 'R', 'C', 0, 0, 1}
+
+const recordSize = 64
+
+const (
+	flagTaken     = 1 << 0
+	flagWrongPath = 1 << 1
+)
+
+// Writer streams uops into a trace file.
+type Writer struct {
+	w     *bufio.Writer
+	buf   [recordSize]byte
+	count uint64
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one uop record.
+func (tw *Writer) Write(u *Uop) error {
+	b := tw.buf[:]
+	binary.LittleEndian.PutUint64(b[0:], u.Seq)
+	binary.LittleEndian.PutUint64(b[8:], u.PC)
+	binary.LittleEndian.PutUint64(b[16:], u.Addr)
+	binary.LittleEndian.PutUint64(b[24:], u.Target)
+	binary.LittleEndian.PutUint64(b[32:], u.Src[0])
+	binary.LittleEndian.PutUint64(b[40:], u.Src[1])
+	binary.LittleEndian.PutUint64(b[48:], u.Src[2])
+	b[56] = byte(u.Op)
+	var flags byte
+	if u.Taken {
+		flags |= flagTaken
+	}
+	if u.WrongPath {
+		flags |= flagWrongPath
+	}
+	b[57] = flags
+	b[58] = u.VecLanes
+	b[59] = u.MaskedLanes
+	b[60] = u.MicrocodeCycles
+	b[61], b[62], b[63] = 0, 0, 0
+	if _, err := tw.w.Write(b); err != nil {
+		return fmt.Errorf("trace: writing record %d: %w", tw.count, err)
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Flush drains buffered records to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// FileReader replays a trace file; it implements Reader.
+type FileReader struct {
+	r    *bufio.Reader
+	buf  [recordSize]byte
+	err  error
+	seen uint64
+}
+
+// NewFileReader validates the header and returns a streaming reader.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a perfstacks trace or wrong version)", hdr[:5])
+	}
+	return &FileReader{r: br}, nil
+}
+
+// Next implements Reader. The first read error (including a truncated final
+// record) ends the stream; inspect Err afterwards.
+func (fr *FileReader) Next() (Uop, bool) {
+	if fr.err != nil {
+		return Uop{}, false
+	}
+	if _, err := io.ReadFull(fr.r, fr.buf[:]); err != nil {
+		if err != io.EOF {
+			fr.err = fmt.Errorf("trace: record %d: %w", fr.seen, err)
+		}
+		return Uop{}, false
+	}
+	b := fr.buf[:]
+	u := Uop{
+		Seq:             binary.LittleEndian.Uint64(b[0:]),
+		PC:              binary.LittleEndian.Uint64(b[8:]),
+		Addr:            binary.LittleEndian.Uint64(b[16:]),
+		Target:          binary.LittleEndian.Uint64(b[24:]),
+		Op:              Op(b[56]),
+		Taken:           b[57]&flagTaken != 0,
+		WrongPath:       b[57]&flagWrongPath != 0,
+		VecLanes:        b[58],
+		MaskedLanes:     b[59],
+		MicrocodeCycles: b[60],
+	}
+	u.Src[0] = binary.LittleEndian.Uint64(b[32:])
+	u.Src[1] = binary.LittleEndian.Uint64(b[40:])
+	u.Src[2] = binary.LittleEndian.Uint64(b[48:])
+	fr.seen++
+	return u, true
+}
+
+// Err reports a malformed-file error encountered during streaming (nil on a
+// clean end of file).
+func (fr *FileReader) Err() error { return fr.err }
+
+// Count returns the number of records read so far.
+func (fr *FileReader) Count() uint64 { return fr.seen }
+
+// Copy materializes up to n uops from r into w (n == 0 copies everything r
+// yields). It returns the number of uops copied.
+func Copy(w *Writer, r Reader, n uint64) (uint64, error) {
+	var copied uint64
+	for n == 0 || copied < n {
+		u, ok := r.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(&u); err != nil {
+			return copied, err
+		}
+		copied++
+	}
+	return copied, w.Flush()
+}

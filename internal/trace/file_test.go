@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sampleUops() []Uop {
+	return []Uop{
+		{Seq: 0, PC: 0x1000, Op: OpALU, Src: [3]uint64{NoProducer, NoProducer, NoProducer}},
+		{Seq: 1, PC: 0x1004, Op: OpLoad, Addr: 0xdeadbeef,
+			Src: [3]uint64{0, NoProducer, NoProducer}},
+		{Seq: 2, PC: 0x1008, Op: OpBranch, Taken: true, Target: 0x2000,
+			Src: [3]uint64{1, NoProducer, NoProducer}},
+		{Seq: 3, PC: 0x100c, Op: OpFMA, VecLanes: 16, MaskedLanes: 3,
+			Src: [3]uint64{1, 2, NoProducer}},
+		{Seq: 4, PC: 0x1010, Op: OpALU, MicrocodeCycles: 4, WrongPath: true,
+			Src: [3]uint64{NoProducer, NoProducer, NoProducer}},
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sampleUops()
+	for i := range in {
+		if err := w.Write(&in[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(in)) {
+		t.Fatalf("writer count = %d", w.Count())
+	}
+
+	r, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		u, ok := r.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d: %v", i, r.Err())
+		}
+		if u != in[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, u, in[i])
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("stream should be exhausted")
+	}
+	if r.Err() != nil {
+		t.Fatalf("clean EOF should leave Err nil: %v", r.Err())
+	}
+	if r.Count() != uint64(len(in)) {
+		t.Fatalf("reader count = %d", r.Count())
+	}
+}
+
+func TestFileRejectsBadMagic(t *testing.T) {
+	if _, err := NewFileReader(bytes.NewReader([]byte("NOTATRACEFILE..."))); err == nil {
+		t.Fatal("bad magic should be rejected")
+	}
+}
+
+func TestFileTruncatedRecordReported(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	u := sampleUops()[0]
+	w.Write(&u)
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-10] // chop the record
+
+	r, err := NewFileReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated record should end the stream")
+	}
+	if r.Err() == nil {
+		t.Fatal("truncation should surface via Err")
+	}
+}
+
+func TestFileEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	r, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("empty trace should yield nothing")
+	}
+	if r.Err() != nil {
+		t.Fatal("empty trace is not an error")
+	}
+}
+
+func TestCopyBoundsAndFlushes(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	n, err := Copy(w, NewSlice(make([]Uop, 10)), 4)
+	if err != nil || n != 4 {
+		t.Fatalf("Copy = (%d,%v), want (4,nil)", n, err)
+	}
+	r, _ := NewFileReader(&buf)
+	count := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 4 {
+		t.Fatalf("copied file has %d records", count)
+	}
+}
+
+func TestCopyAll(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	n, err := Copy(w, NewSlice(make([]Uop, 7)), 0)
+	if err != nil || n != 7 {
+		t.Fatalf("Copy-all = (%d,%v), want (7,nil)", n, err)
+	}
+}
+
+// Property: any uop round-trips bit-exactly.
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(seq, pc, addr, tgt, s0, s1, s2 uint64, op, lanes, masked, ucode uint8, taken, wp bool) bool {
+		in := Uop{
+			Seq: seq, PC: pc, Addr: addr, Target: tgt,
+			Op:    Op(op % uint8(numOps)),
+			Src:   [3]uint64{s0, s1, s2},
+			Taken: taken, WrongPath: wp,
+			VecLanes: lanes, MaskedLanes: masked, MicrocodeCycles: ucode,
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		if w.Write(&in) != nil || w.Flush() != nil {
+			return false
+		}
+		r, err := NewFileReader(&buf)
+		if err != nil {
+			return false
+		}
+		out, ok := r.Next()
+		return ok && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

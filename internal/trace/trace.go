@@ -1,0 +1,234 @@
+// Package trace defines the dynamic micro-operation (uop) model that feeds
+// the timing simulator. The simulator is trace-driven and functional-first:
+// a trace.Reader produces the committed (correct-path) uop stream, including
+// data dependences, memory addresses and branch outcomes, and the timing
+// model replays it through an out-of-order pipeline. This mirrors the
+// functional-first organization of the Sniper simulator used in the paper.
+package trace
+
+// Op enumerates micro-operation kinds. The timing model assigns execution
+// latencies and functional-unit ports per Op; the accounting layer uses Op to
+// classify stall causes (loads for D-cache misses, long-latency arithmetic
+// for the ALU component, vector floating-point for FLOPS stacks).
+type Op uint8
+
+const (
+	// OpNop occupies a pipeline slot but no functional unit result.
+	OpNop Op = iota
+	// OpALU is single-cycle integer arithmetic/logic.
+	OpALU
+	// OpMul is multi-cycle integer multiply.
+	OpMul
+	// OpDiv is long-latency integer divide.
+	OpDiv
+	// OpBranch is a conditional or indirect branch.
+	OpBranch
+	// OpCall is a direct call (pushes a return address; uses the RAS).
+	OpCall
+	// OpRet is a return (pops the RAS).
+	OpRet
+	// OpLoad reads memory.
+	OpLoad
+	// OpStore writes memory.
+	OpStore
+	// OpFPAdd is a (vector) floating-point add/sub: one FLOP per lane.
+	OpFPAdd
+	// OpFPMul is a (vector) floating-point multiply: one FLOP per lane.
+	OpFPMul
+	// OpFPDiv is a long-latency floating-point divide.
+	OpFPDiv
+	// OpFMA is a fused multiply-add: two FLOPs per lane.
+	OpFMA
+	// OpVInt is an integer vector op; occupies a vector unit but is not VFP.
+	OpVInt
+	// OpBroadcast replicates a scalar across vector lanes. It performs no
+	// FLOPs and executes on the load/shuffle ports (like x86 memory
+	// broadcasts), not on the FMA-capable vector units.
+	OpBroadcast
+	// OpBarrier marks a thread synchronization point. When a core commits a
+	// barrier uop it yields until all cores in the SMP harness reach the same
+	// barrier; yielded cycles surface as the "Unsched" component.
+	OpBarrier
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	"nop", "alu", "mul", "div", "branch", "call", "ret", "load", "store",
+	"fpadd", "fpmul", "fpdiv", "fma", "vint", "broadcast", "barrier",
+}
+
+// String returns a short lower-case mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// IsVFP reports whether the op is a vector floating-point operation that
+// counts toward FLOPS (adds, multiplies and FMAs; divides excluded per the
+// usual peak-FLOPS definition but still occupy the vector unit).
+func (o Op) IsVFP() bool {
+	return o == OpFPAdd || o == OpFPMul || o == OpFMA
+}
+
+// UsesVectorUnit reports whether the op occupies a vector (FMA-capable)
+// functional unit. Broadcasts are excluded: like the memory-broadcast forms
+// x86 kernels use (vbroadcastss zmm, [mem]), they execute on the load/shuffle
+// ports, so a vector FP op waiting on one surfaces as a dependence stall
+// rather than a lost vector-unit slot.
+func (o Op) UsesVectorUnit() bool {
+	return o == OpFPAdd || o == OpFPMul || o == OpFPDiv || o == OpFMA ||
+		o == OpVInt
+}
+
+// IsMem reports whether the op accesses data memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// IsBranch reports whether the op redirects control flow.
+func (o Op) IsBranch() bool { return o == OpBranch || o == OpCall || o == OpRet }
+
+// FLOPsPerLane returns the number of floating-point operations one unmasked
+// vector lane performs: 2 for FMA, 1 for add/mul, 0 otherwise.
+func (o Op) FLOPsPerLane() int {
+	switch o {
+	case OpFMA:
+		return 2
+	case OpFPAdd, OpFPMul:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// NoProducer marks an absent source operand.
+const NoProducer = ^uint64(0)
+
+// Uop is one dynamic micro-operation. Source operands are expressed as the
+// sequence numbers of the producing uops (register dataflow is pre-resolved
+// by the trace generator, as a functional front-end would do).
+type Uop struct {
+	// Seq is the dynamic sequence number, dense over the correct path.
+	Seq uint64
+	// PC is the instruction address, used for I-cache and branch predictor
+	// indexing.
+	PC uint64
+	// Op is the operation kind.
+	Op Op
+	// Src holds producer sequence numbers; NoProducer means no dependence.
+	Src [3]uint64
+	// Addr is the effective data address for loads and stores.
+	Addr uint64
+	// Taken is the actual outcome for branches.
+	Taken bool
+	// Target is the actual target address for taken branches.
+	Target uint64
+	// VecLanes is the vector width in lanes for vector ops (0 for scalar).
+	VecLanes uint8
+	// MaskedLanes is the number of lanes masked off (0 = fully unmasked).
+	MaskedLanes uint8
+	// MicrocodeCycles is the extra decode occupancy for microcoded
+	// instructions (0 for regular single-uop decode).
+	MicrocodeCycles uint8
+	// WrongPath marks synthesized wrong-path uops injected after a
+	// mispredicted branch; they never commit.
+	WrongPath bool
+}
+
+// ActiveLanes returns the number of unmasked lanes (at least 0).
+func (u *Uop) ActiveLanes() int {
+	n := int(u.VecLanes) - int(u.MaskedLanes)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// FLOPs returns the floating-point operations this uop performs.
+func (u *Uop) FLOPs() int { return u.Op.FLOPsPerLane() * u.ActiveLanes() }
+
+// Reader produces a stream of correct-path uops. Implementations must be
+// deterministic for a given construction so experiments can re-simulate the
+// identical instruction stream under idealized configurations.
+type Reader interface {
+	// Next returns the next uop. ok is false at end of trace.
+	Next() (u Uop, ok bool)
+}
+
+// Slice is an in-memory trace, convenient for tests.
+type Slice struct {
+	Uops []Uop
+	pos  int
+}
+
+// NewSlice wraps uops in a Reader, assigning dense Seq numbers if they are
+// all zero.
+func NewSlice(uops []Uop) *Slice {
+	needSeq := true
+	for i := range uops {
+		if uops[i].Seq != 0 {
+			needSeq = false
+			break
+		}
+	}
+	if needSeq {
+		for i := range uops {
+			uops[i].Seq = uint64(i)
+		}
+	}
+	return &Slice{Uops: uops}
+}
+
+// Next implements Reader.
+func (s *Slice) Next() (Uop, bool) {
+	if s.pos >= len(s.Uops) {
+		return Uop{}, false
+	}
+	u := s.Uops[s.pos]
+	s.pos++
+	return u, true
+}
+
+// Reset rewinds the slice so it can be replayed.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Limit wraps a Reader and truncates it after n uops.
+type Limit struct {
+	R    Reader
+	N    uint64
+	seen uint64
+}
+
+// NewLimit returns a Reader that yields at most n uops from r.
+func NewLimit(r Reader, n uint64) *Limit { return &Limit{R: r, N: n} }
+
+// Next implements Reader.
+func (l *Limit) Next() (Uop, bool) {
+	if l.seen >= l.N {
+		return Uop{}, false
+	}
+	u, ok := l.R.Next()
+	if !ok {
+		return Uop{}, false
+	}
+	l.seen++
+	return u, true
+}
+
+// Counter wraps a Reader and counts uops and FLOPs as they stream by.
+type Counter struct {
+	R     Reader
+	Uops  uint64
+	FLOPs uint64
+}
+
+// Next implements Reader.
+func (c *Counter) Next() (Uop, bool) {
+	u, ok := c.R.Next()
+	if ok {
+		c.Uops++
+		c.FLOPs += uint64(u.FLOPs())
+	}
+	return u, ok
+}

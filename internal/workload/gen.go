@@ -1,0 +1,404 @@
+package workload
+
+import "perfstacks/internal/trace"
+
+// Memory layout bases for the synthetic address space. Regions are disjoint
+// so code, heap and stack never alias.
+const (
+	codeBase   = 0x0000_0000_0040_0000
+	driverBase = 0x0000_0000_003f_0000
+	streamBase = 0x0000_0001_0000_0000
+	chaseBase  = 0x0000_0002_0000_0000
+	localBase  = 0x0000_0003_0000_0000
+	storeBase  = 0x0000_0004_0000_0000
+)
+
+const numRegs = 32
+
+// uopBytes is the nominal instruction size used for PC layout.
+const uopBytes = 4
+
+// Generator streams uops for a Profile; it implements trace.Reader.
+type Generator struct {
+	p   Profile
+	rng splitmix64
+	seq uint64
+
+	nFuncs    int
+	funcBytes uint64
+
+	// Execution cursor.
+	inFunc    bool
+	curFunc   int
+	curBlock  int
+	blockPos  int
+	tripLeft  int
+	funcTrips int
+	retPC     uint64
+	driverPC  uint64
+
+	// Dataflow state.
+	regs     [numRegs]uint64 // producer seq + 1; 0 = none
+	lastLong uint64          // producer seq + 1 of last multi-cycle result
+	lastLoad uint64          // producer seq + 1 of last load
+	accChain uint64          // producer seq + 1 of the serial accumulator
+	// Pointer-chase chains: per-chain LCG state and previous-load producer.
+	chaseState   []uint64
+	lastChase    []uint64 // producer seq + 1 of previous load in the chain
+	chaseIdx     int
+	lastChaseAny uint64 // producer seq + 1 of the most recent chase load
+	streamCur    uint64
+	storeCur     uint64
+
+	sinceBarrier int
+}
+
+// NewGenerator builds a deterministic generator for p.
+func NewGenerator(p Profile) *Generator {
+	p = p.withDefaults()
+	blockBytes := uint64(p.BlockUops * uopBytes)
+	funcBytes := blockBytes * uint64(p.FuncBlocks)
+	nFuncs := int(uint64(p.CodeFootprint) / funcBytes)
+	if nFuncs < 1 {
+		nFuncs = 1
+	}
+	g := &Generator{
+		p:          p,
+		rng:        newRNG(p.Seed ^ 0xabcdef12345),
+		nFuncs:     nFuncs,
+		funcBytes:  funcBytes,
+		chaseState: make([]uint64, p.ChaseChains),
+		lastChase:  make([]uint64, p.ChaseChains),
+		driverPC:   driverBase,
+	}
+	for i := range g.chaseState {
+		g.chaseState[i] = hash64(p.Seed, uint64(i), 0xc4a5e) | 1
+	}
+	return g
+}
+
+// Profile returns the generator's configuration.
+func (g *Generator) Profile() Profile { return g.p }
+
+func (g *Generator) blockPC(f, b int) uint64 {
+	return codeBase + uint64(f)*g.funcBytes + uint64(b)*uint64(g.p.BlockUops*uopBytes)
+}
+
+// staticHash derives stable per-static-instruction randomness.
+func (g *Generator) staticHash(f, b, pos int, salt uint64) uint64 {
+	return hash64(g.p.Seed, uint64(f)<<40|uint64(b)<<20|uint64(pos), salt)
+}
+
+// Next implements trace.Reader. The generator never ends; wrap it in a
+// trace.Limit to bound runs.
+func (g *Generator) Next() (trace.Uop, bool) {
+	u := g.gen()
+	u.Seq = g.seq
+	g.seq++
+	return u, true
+}
+
+func (g *Generator) gen() trace.Uop {
+	// Barrier insertion at block boundaries.
+	if g.p.BarrierEvery > 0 && g.sinceBarrier >= g.p.BarrierEvery && g.blockPos == 0 {
+		g.sinceBarrier = 0
+		return trace.Uop{
+			PC: g.driverPC, Op: trace.OpBarrier,
+			Src: noSrc(),
+		}
+	}
+	g.sinceBarrier++
+
+	if !g.inFunc {
+		// Driver: call the next function.
+		f := zipfIndex(&g.rng, g.nFuncs, g.p.CodeSkew)
+		g.inFunc = true
+		g.curFunc = f
+		g.curBlock = 0
+		g.blockPos = 0
+		g.tripLeft = g.loopTrips(f, 0)
+		g.funcTrips = g.p.FuncLoop
+		if g.funcTrips < 1 {
+			g.funcTrips = 1
+		}
+		pc := g.driverPC
+		g.driverPC = driverBase + (g.driverPC-driverBase+uopBytes)%512
+		g.retPC = pc + uopBytes
+		return trace.Uop{
+			PC: pc, Op: trace.OpCall, Taken: true,
+			Target: g.blockPC(f, 0), Src: noSrc(),
+		}
+	}
+
+	f, b, pos := g.curFunc, g.curBlock, g.blockPos
+	pc := g.blockPC(f, b) + uint64(pos*uopBytes)
+
+	// Block-terminating control flow.
+	if pos == g.p.BlockUops-1 {
+		return g.genBranch(f, b, pc)
+	}
+	g.blockPos++
+	return g.genBody(f, b, pos, pc)
+}
+
+func noSrc() [3]uint64 {
+	return [3]uint64{trace.NoProducer, trace.NoProducer, trace.NoProducer}
+}
+
+// loopTrips returns the trip count for a block (1 = straight-line).
+func (g *Generator) loopTrips(f, b int) int {
+	h := g.staticHash(f, b, 0, 0x100b)
+	if float64(h%1000)/1000 >= g.p.LoopBlockFrac {
+		return 1
+	}
+	// Trip counts vary a little dynamically around the mean.
+	t := g.p.InnerTrip/2 + g.rng.intn(g.p.InnerTrip+1)
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// genBranch emits the block-ending branch and advances control flow.
+func (g *Generator) genBranch(f, b int, pc uint64) trace.Uop {
+	u := trace.Uop{PC: pc, Src: noSrc()}
+
+	// Self-loop back-edge while trips remain.
+	if g.tripLeft > 1 {
+		g.tripLeft--
+		g.blockPos = 0
+		u.Op = trace.OpBranch
+		u.Taken = true
+		u.Target = g.blockPC(f, b)
+		return u
+	}
+
+	// Last block of the function: loop the body or return to the driver.
+	if b == g.p.FuncBlocks-1 {
+		if g.funcTrips > 1 {
+			g.funcTrips--
+			g.curBlock = 0
+			g.blockPos = 0
+			g.tripLeft = g.loopTrips(f, 0)
+			u.Op = trace.OpBranch
+			u.Taken = true
+			u.Target = g.blockPC(f, 0)
+			return u
+		}
+		g.inFunc = false
+		u.Op = trace.OpRet
+		u.Taken = true
+		u.Target = g.retPC
+		return u
+	}
+
+	// Conditional branch to the next block (taken skips it occasionally).
+	g.curBlock = b + 1
+	g.blockPos = 0
+	g.tripLeft = g.loopTrips(f, g.curBlock)
+
+	h := g.staticHash(f, b, g.p.BlockUops-1, 0xb4a7c4)
+	unpredictable := float64(h%1000)/1000 < g.p.BranchEntropy
+	var takenBias float64
+	if unpredictable {
+		takenBias = 0.5
+		// Data-dependent branch: consumes the latest (preferably chase)
+		// load value, coupling resolution latency to memory.
+		if g.rng.float() < g.p.BranchLoadDep {
+			if g.lastChaseAny != 0 {
+				u.Src[0] = g.lastChaseAny - 1
+			} else if g.lastLoad != 0 {
+				u.Src[0] = g.lastLoad - 1
+			}
+		}
+	} else if h&1 == 0 {
+		takenBias = 0.03
+	} else {
+		takenBias = 0.97
+	}
+
+	u.Op = trace.OpBranch
+	u.Taken = g.rng.float() < takenBias
+	if u.Taken {
+		// Skip one block ahead (or wrap inside the function).
+		skip := b + 2
+		if skip >= g.p.FuncBlocks {
+			skip = g.p.FuncBlocks - 1
+		}
+		if skip != g.curBlock {
+			g.curBlock = skip
+			g.tripLeft = g.loopTrips(f, g.curBlock)
+		}
+		u.Target = g.blockPC(f, g.curBlock)
+	}
+	return u
+}
+
+// genBody emits a non-branch uop chosen by the static mix.
+func (g *Generator) genBody(f, b, pos int, pc uint64) trace.Uop {
+	u := trace.Uop{PC: pc, Src: noSrc()}
+	h := g.staticHash(f, b, pos, 0x5eed)
+	x := float64(h%100000) / 100000
+
+	p := &g.p
+	mulFrac := p.MulFrac
+	if p.MulBurst > 0 {
+		bh := g.staticHash(f, b, 0, 0x31b)
+		if float64(bh%1000)/1000 < p.MulBurst {
+			mulFrac *= 4
+		} else {
+			mulFrac *= 0.4
+		}
+	}
+	switch {
+	case x < p.LoadFrac:
+		g.genLoad(&u, h)
+	case x < p.LoadFrac+p.StoreFrac:
+		g.genStore(&u, h)
+	case x < p.LoadFrac+p.StoreFrac+mulFrac:
+		u.Op = trace.OpMul
+		g.readRegs(&u, h, 2)
+		// Mul-to-mul chains expose the multi-cycle latency when nothing
+		// else stalls the pipeline (the hidden-ALU effect of Table I).
+		if g.lastLong != 0 && g.rng.float() < p.ChainOnLong {
+			u.Src[0] = g.lastLong - 1
+		}
+		g.writeReg(h, true)
+		g.joinSerialChain(&u)
+	case x < p.LoadFrac+p.StoreFrac+mulFrac+p.DivFrac:
+		u.Op = trace.OpDiv
+		g.readRegs(&u, h, 2)
+		g.writeReg(h, true)
+		g.joinSerialChain(&u)
+	case x < p.LoadFrac+p.StoreFrac+mulFrac+p.DivFrac+p.FPFrac:
+		g.genFP(&u, h)
+		g.joinSerialChain(&u)
+	default:
+		u.Op = trace.OpALU
+		g.readRegs(&u, h, 2)
+		// Chains on multi-cycle producers (the imagick-style issue-stage
+		// signature: single-cycle uops strung behind long-latency results).
+		if g.lastLong != 0 && g.rng.float() < p.ChainOnLong {
+			u.Src[0] = g.lastLong - 1
+		}
+		if p.SerialChainALU > 0 && g.rng.float() < p.SerialChainALU {
+			if g.accChain != 0 {
+				u.Src[1] = g.accChain - 1
+			}
+			g.accChain = g.seq + 1
+		}
+		g.writeReg(h, false)
+	}
+
+	// Microcode flagging (static property).
+	if p.MicrocodeFrac > 0 {
+		mh := g.staticHash(f, b, pos, 0x6dc0)
+		if float64(mh%100000)/100000 < p.MicrocodeFrac {
+			u.MicrocodeCycles = uint8(p.MicrocodeCycles)
+		}
+	}
+	return u
+}
+
+func (g *Generator) genLoad(u *trace.Uop, h uint64) {
+	u.Op = trace.OpLoad
+	p := &g.p
+	kind := float64(hash64(h, 0x10ad)%1000) / 1000
+	switch {
+	case kind < p.StreamFrac:
+		u.Addr = streamBase + g.streamCur
+		g.streamCur = (g.streamCur + uint64(p.StreamStride)) % uint64(p.DataFootprint)
+		g.readRegs(u, h, 1)
+	case kind < p.StreamFrac+p.ChaseFrac:
+		// Pointer chase: the address depends on the previous load of the
+		// same chain; chains rotate to expose memory-level parallelism.
+		ci := g.chaseIdx
+		g.chaseIdx = (g.chaseIdx + 1) % len(g.chaseState)
+		st := g.chaseState[ci]*6364136223846793005 + 1442695040888963407
+		g.chaseState[ci] = st
+		span := uint64(p.ChaseHotBytes)
+		if float64(st>>40&0xffff)/65536 >= p.ChaseHotFrac {
+			span = uint64(p.DataFootprint) // cold step across the footprint
+		}
+		u.Addr = chaseBase + (st%span)&^7
+		if g.lastChase[ci] != 0 && g.rng.float() >= p.ChaseRestart {
+			u.Src[0] = g.lastChase[ci] - 1
+		}
+		g.lastChase[ci] = g.seq + 1
+		g.lastChaseAny = g.seq + 1
+	default:
+		u.Addr = localBase + uint64(g.rng.intn(p.LocalBytes))&^7
+		g.readRegs(u, h, 1)
+	}
+	g.writeReg(h, true)
+	g.lastLoad = g.seq + 1
+}
+
+func (g *Generator) genStore(u *trace.Uop, h uint64) {
+	u.Op = trace.OpStore
+	p := &g.p
+	if float64(hash64(h, 0x5707e)%1000)/1000 < p.StreamFrac {
+		u.Addr = storeBase + g.storeCur
+		g.storeCur = (g.storeCur + uint64(p.StreamStride)) % uint64(p.DataFootprint)
+	} else {
+		u.Addr = localBase + uint64(g.rng.intn(p.LocalBytes))&^7
+	}
+	g.readRegs(u, h, 2) // data + address
+}
+
+func (g *Generator) genFP(u *trace.Uop, h uint64) {
+	p := &g.p
+	fk := float64(hash64(h, 0xf9)%1000) / 1000
+	switch {
+	case fk < p.FPFMAFrac:
+		u.Op = trace.OpFMA
+	case fk < p.FPFMAFrac+(1-p.FPFMAFrac)/2:
+		u.Op = trace.OpFPAdd
+	default:
+		u.Op = trace.OpFPMul
+	}
+	u.VecLanes = uint8(p.FPVecLanes)
+	g.readRegs(u, h, 2)
+	if g.lastLong != 0 && g.rng.float() < p.ChainOnLong {
+		u.Src[0] = g.lastLong - 1
+	}
+	g.writeReg(h, true)
+}
+
+// readRegs fills up to n source operands from the register state, biased
+// toward recent producers per ChainBias.
+func (g *Generator) readRegs(u *trace.Uop, h uint64, n int) {
+	for i := 0; i < n; i++ {
+		var ri int
+		if g.rng.float() < g.p.ChainBias {
+			ri = int((g.seq + numRegs - 1) % numRegs) // most recent dest
+		} else {
+			ri = int((hash64(h, uint64(i), 0x4e9) + g.rng.next()%8) % numRegs)
+		}
+		if v := g.regs[ri]; v != 0 {
+			u.Src[i] = v - 1
+		}
+	}
+}
+
+// writeReg records this uop as the producer of its destination register.
+// Long-latency producers are additionally remembered for chain shaping.
+func (g *Generator) writeReg(h uint64, long bool) {
+	ri := int(g.seq % numRegs)
+	g.regs[ri] = g.seq + 1
+	if long {
+		g.lastLong = g.seq + 1
+	}
+}
+
+// joinSerialChain links a multi-cycle uop into the serial accumulator chain
+// with probability SerialChain.
+func (g *Generator) joinSerialChain(u *trace.Uop) {
+	if g.p.SerialChain <= 0 || g.rng.float() >= g.p.SerialChain {
+		return
+	}
+	if g.accChain != 0 {
+		u.Src[1] = g.accChain - 1
+	}
+	g.accChain = g.seq + 1
+}

@@ -1,0 +1,188 @@
+// Package workload generates deterministic synthetic instruction traces for
+// the timing simulator. Two families are provided:
+//
+//   - Profile-driven synthetic programs standing in for the SPEC CPU 2017
+//     benchmarks the paper evaluates (36 named profiles): a generative model
+//     of functions, basic blocks and loops with controlled code footprint,
+//     data footprint, access patterns (streaming / pointer-chasing / local),
+//     dependence structure, branch predictability and microcode usage.
+//
+//   - DeepBench-like HPC kernels (sgemm and convolution) emitted in two
+//     code styles — the KNL JIT style (FMA with a memory operand, split into
+//     a load uop plus a dependent FMA uop) and the SKX style (load +
+//     broadcast + register-register FMAs) — matching the code-generation
+//     difference the paper's Figure 4 analysis hinges on.
+//
+// Generators are deterministic functions of their configuration and seed, so
+// idealization experiments can re-simulate the identical uop stream.
+package workload
+
+// Profile parameterizes one synthetic SPEC-like program. Fractions refer to
+// static instructions; the dynamic mix converges to the same values.
+type Profile struct {
+	// Name is the benchmark-like identifier (e.g. "mcf-like").
+	Name string
+	// Seed drives all static and dynamic randomness.
+	Seed uint64
+
+	// --- Instruction mix (fractions of non-branch uops; rest are 1-cycle ALU) ---
+
+	// LoadFrac is the fraction of load uops.
+	LoadFrac float64
+	// StoreFrac is the fraction of store uops.
+	StoreFrac float64
+	// MulFrac is the fraction of multi-cycle integer multiplies.
+	MulFrac float64
+	// DivFrac is the fraction of long-latency divides.
+	DivFrac float64
+	// FPFrac is the fraction of floating-point uops.
+	FPFrac float64
+	// FPFMAFrac is the FMA share within FP uops.
+	FPFMAFrac float64
+	// FPVecLanes is the vector width of FP uops (1 = scalar).
+	FPVecLanes int
+
+	// --- Code behavior ---
+
+	// CodeFootprint is the hot code size in bytes; above the L1-I capacity
+	// it produces instruction cache misses.
+	CodeFootprint int
+	// FuncBlocks is the number of basic blocks per function.
+	FuncBlocks int
+	// BlockUops is the number of uops per basic block (including the
+	// terminating branch).
+	BlockUops int
+	// CodeSkew concentrates function selection (0 = uniform sweep through
+	// the footprint, towards 1 = a few hot functions).
+	CodeSkew float64
+	// LoopBlockFrac is the fraction of blocks that self-loop.
+	LoopBlockFrac float64
+	// InnerTrip is the mean trip count of self-looping blocks.
+	InnerTrip int
+	// FuncLoop repeats the whole function body N times per call (1 = run
+	// once). Large bodies looped this way re-fetch their entire code
+	// footprint every iteration — the steady, interspersed I-cache miss
+	// pattern of big-loop codes like cactuBSSN, as opposed to the bursty
+	// misses of call-dominated codes.
+	FuncLoop int
+
+	// --- Branch behavior ---
+
+	// BranchEntropy is the fraction of conditional branches whose outcome
+	// is data-dependent and unpredictable (bias 0.5); the rest are highly
+	// biased and easily learned.
+	BranchEntropy float64
+	// BranchLoadDep is the probability an unpredictable branch consumes the
+	// most recent load's value, coupling misprediction resolution to memory
+	// latency (the mcf-style bpred/D-cache overlap).
+	BranchLoadDep float64
+
+	// --- Data behavior ---
+
+	// DataFootprint is the main data working-set size in bytes.
+	DataFootprint int
+	// StreamFrac / ChaseFrac partition loads into streaming and
+	// pointer-chasing kinds; the rest hit a small local region.
+	StreamFrac float64
+	ChaseFrac  float64
+	// StreamStride is the streaming access stride in bytes (8 = sequential
+	// doubles within a line; 64 = one new line per access).
+	StreamStride int
+	// LocalBytes is the local (stack-like) region size.
+	LocalBytes int
+	// ChaseChains is the number of independent pointer chains traversed in
+	// parallel; the out-of-order core extracts that much memory-level
+	// parallelism from the chase loads.
+	ChaseChains int
+	// ChaseHotFrac is the fraction of chase steps that stay within a hot
+	// region of ChaseHotBytes, giving the chains partial cache residency.
+	ChaseHotFrac float64
+	// ChaseHotBytes is the hot chase region size.
+	ChaseHotBytes int
+	// ChaseRestart is the probability a chase step starts a fresh chain
+	// (dropping the dependence on the previous load). Restarts make chase
+	// latency hideable by the out-of-order window, which is what lets a
+	// perfect branch predictor reclaim the cycles of mispredicted branches
+	// that wait on chase loads — the paper's mcf/BDW penalty overlap.
+	ChaseRestart float64
+
+	// --- Dependences ---
+
+	// ChainBias is the probability a uop consumes the most recently
+	// produced value (longer chains, less ILP).
+	ChainBias float64
+	// ChainOnLong is the probability an ALU uop consumes the most recent
+	// multi-cycle producer (mul/div/FP/load), exposing latency in chains.
+	ChainOnLong float64
+	// SerialChain is the probability a multi-cycle arithmetic uop (mul, div
+	// or FP) joins a single serial accumulator chain (reads the previous
+	// chain element and becomes the new one) — the reduction/accumulation
+	// pattern whose critical path surfaces multi-cycle latencies once cache
+	// misses stop hiding them (the Table I hidden-ALU effect).
+	SerialChain float64
+	// SerialChainALU is the probability a single-cycle ALU uop joins the
+	// serial accumulator chain, producing the long tails of dependent
+	// single-cycle instructions behind multi-cycle producers that dominate
+	// the dispatch/commit stacks of the imagick case study.
+	SerialChainALU float64
+	// MulBurst is the fraction of basic blocks that are multiply-heavy
+	// (4x the MulFrac); bursty multi-cycle chains hide under long miss
+	// windows but bind once the misses are idealized away.
+	MulBurst float64
+
+	// --- Microcode ---
+
+	// MicrocodeFrac is the fraction of uops that are microcoded.
+	MicrocodeFrac float64
+	// MicrocodeCycles is the decode occupancy of a microcoded uop.
+	MicrocodeCycles int
+
+	// --- Synchronization ---
+
+	// BarrierEvery emits a barrier uop every N uops (0 = never).
+	BarrierEvery int
+}
+
+// withDefaults fills unset structural fields with sane values.
+func (p Profile) withDefaults() Profile {
+	if p.FuncBlocks == 0 {
+		p.FuncBlocks = 8
+	}
+	if p.BlockUops == 0 {
+		p.BlockUops = 10
+	}
+	if p.InnerTrip == 0 {
+		p.InnerTrip = 12
+	}
+	if p.CodeFootprint == 0 {
+		p.CodeFootprint = 16 * 1024
+	}
+	if p.DataFootprint == 0 {
+		p.DataFootprint = 1 << 20
+	}
+	if p.StreamStride == 0 {
+		p.StreamStride = 8
+	}
+	if p.LocalBytes == 0 {
+		p.LocalBytes = 8 * 1024
+	}
+	if p.ChaseChains == 0 {
+		p.ChaseChains = 4
+	}
+	if p.ChaseHotFrac == 0 {
+		p.ChaseHotFrac = 0.8
+	}
+	if p.ChaseHotBytes == 0 {
+		p.ChaseHotBytes = 384 * 1024
+	}
+	if p.FPVecLanes == 0 {
+		p.FPVecLanes = 1
+	}
+	if p.MicrocodeCycles == 0 {
+		p.MicrocodeCycles = 3
+	}
+	if p.CodeSkew == 0 {
+		p.CodeSkew = 0.3
+	}
+	return p
+}
