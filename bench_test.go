@@ -211,6 +211,34 @@ func BenchmarkGemmGenerator(b *testing.B) {
 	}
 }
 
+// BenchmarkStallSkipping measures the event-driven idle-window skipper:
+// the same memory-bound workload with skipping enabled (default) vs forced
+// per-cycle iteration (sim.Options.NoSkip). The ratio of the two ns/op
+// numbers is the skipping speedup; results are bit-identical either way
+// (see sim.TestSkipEquivalence).
+func BenchmarkStallSkipping(b *testing.B) {
+	prof, _ := workload.SPECProfile("mcf")
+	m := config.BDW()
+	run := func(b *testing.B, noSkip bool) {
+		done := 0
+		for done < b.N {
+			opts := sim.Default()
+			opts.NoSkip = noSkip
+			n := uint64(b.N - done)
+			if n > 500_000 {
+				n = 500_000
+			}
+			res := sim.Run(m, trace.NewLimit(workload.NewGenerator(prof), n), opts)
+			done += int(res.Stats.Committed)
+			if res.Stats.Committed == 0 {
+				break
+			}
+		}
+	}
+	b.Run("skip", func(b *testing.B) { run(b, false) })
+	b.Run("noskip", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkSimulatorThroughput reports end-to-end simulated uops per second
 // on a representative workload (the headline simulator speed number).
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -8,12 +8,15 @@
 //	experiments -run tableI     # one experiment: tableI, figure1..figure5,
 //	                            # overhead, wrongpath
 //	experiments -uops 500000 -warmup 300000 -quick=false
+//	experiments -run figure2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,7 +29,37 @@ func main() {
 	warmup := flag.Uint64("warmup", 0, "warm-up uops per simulation (0 = default)")
 	quick := flag.Bool("quick", false, "use the reduced test sizing")
 	par := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: start CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: write heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	spec := experiments.DefaultSpec()
 	if *quick {

@@ -1,0 +1,24 @@
+package core
+
+import "math"
+
+// addWholeCycles adds n whole stall cycles to *x, producing a result
+// bit-identical to n repeated "+= 1" operations. When x is integer-valued and
+// the sum stays below 2^53 both forms are exact, so the single batched add is
+// used; otherwise (x carries a fractional part from an earlier partial-width
+// cycle) it falls back to replaying the per-cycle additions, which is still
+// far cheaper than re-running the pipeline and full classification per cycle.
+//
+// This is the workhorse of batched idle-window accounting: a skipped stall
+// window contributes exactly 1.0 to a single component per cycle (the stall
+// remainder 1-f with f = 0), so equivalence with the unbatched path reduces
+// to the repeated-add identity this helper guarantees.
+func addWholeCycles(x *float64, n int64) {
+	if *x == math.Trunc(*x) && *x+float64(n) < float64(int64(1)<<53) {
+		*x += float64(n)
+		return
+	}
+	for ; n > 0; n-- {
+		*x++
+	}
+}

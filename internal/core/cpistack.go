@@ -76,6 +76,23 @@ func (a *stageAcct) cycle(n float64, w float64) float64 {
 	return 1 - f
 }
 
+// idle accounts r consecutive zero-throughput cycles whose stall classifies
+// as cls, bit-identically to r calls of cycle(0, w) plus the stall charge.
+// Cycles that still drain a width carryover replay the exact per-cycle
+// operations; once the carry is exhausted each remaining cycle contributes
+// exactly 1.0 to cls, which addWholeCycles applies in one batched add.
+func (a *stageAcct) idle(cls Component, w float64, r int64) {
+	for r > 0 && a.carry > 0 {
+		if stall := a.cycle(0, w); stall > 0 {
+			a.comp[cls] += stall
+		}
+		r--
+	}
+	if r > 0 {
+		addWholeCycles(&a.comp[cls], r)
+	}
+}
+
 // MultiStageAccountant measures CPI stacks at the dispatch, issue and commit
 // stages simultaneously — the paper's multi-stage CPI stack proposal. It
 // consumes one CycleSample per simulated cycle.
@@ -102,8 +119,13 @@ func NewMultiStageAccountant(opts Options) *MultiStageAccountant {
 // Options returns the accountant's configuration.
 func (m *MultiStageAccountant) Options() Options { return m.opts }
 
-// Cycle consumes one cycle's sample.
+// Cycle consumes one cycle's sample. A sample with Repeat > 1 stands for
+// that many identical idle cycles and is accounted in one batched step.
 func (m *MultiStageAccountant) Cycle(s *CycleSample) {
+	if s.Repeat > 1 {
+		m.cycleIdle(s)
+		return
+	}
 	m.cycles++
 	m.insts += uint64(s.CommitN)
 	w := float64(m.opts.Width)
@@ -148,6 +170,32 @@ func (m *MultiStageAccountant) Cycle(s *CycleSample) {
 	if m.spec != nil {
 		m.spec.events(s)
 	}
+}
+
+// cycleIdle accounts an idle-window sample: s.Repeat consecutive cycles with
+// zero throughput at every stage and no commit/squash events. Every stage's
+// stall classification is constant across the window, so each stage charges
+// Repeat whole cycles (after draining any width carryover) to one component.
+func (m *MultiStageAccountant) cycleIdle(s *CycleSample) {
+	r := s.Repeat
+	m.cycles += r
+	w := float64(m.opts.Width)
+	wd, wi, wc := w, w, w
+	if m.opts.UseStageWidths {
+		wd = float64(m.opts.StageWidths[StageDispatch])
+		wi = float64(m.opts.StageWidths[StageIssue])
+		wc = float64(m.opts.StageWidths[StageCommit])
+	}
+	if m.spec != nil {
+		m.spec.accountStageIdle(StageDispatch, &m.stages[StageDispatch], s, wd, m.classifyDispatch, r)
+		m.spec.accountStageIdle(StageIssue, &m.stages[StageIssue], s, wi, m.classifyIssue, r)
+	} else {
+		m.stages[StageDispatch].idle(m.classifyDispatch(s), wd, r)
+		m.stages[StageIssue].idle(m.classifyIssue(s), wi, r)
+	}
+	m.stages[StageCommit].idle(m.classifyCommit(s), wc, r)
+	// Idle samples never carry commit/squash events, so there is no
+	// speculative-state event processing to do.
 }
 
 // classifyDispatch implements Table II, dispatch column (lines 3-16), with

@@ -28,6 +28,12 @@ func NewFetchAccountant(w int) *FetchAccountant {
 
 // Cycle consumes one sample.
 func (a *FetchAccountant) Cycle(s *CycleSample) {
+	if s.Repeat > 1 {
+		// Idle window: zero fetch throughput with a constant stall cause.
+		a.cycles += s.Repeat
+		a.acct.idle(a.classify(s), a.width, s.Repeat)
+		return
+	}
 	a.cycles++
 	a.insts += uint64(s.CommitN)
 	stall := a.acct.cycle(float64(s.FetchN), a.width)

@@ -133,6 +133,10 @@ func NewFLOPSAccountant(k, v int) *FLOPSAccountant {
 // with the (k−n)/k unissued-slot classification every cycle accounts to
 // exactly 1.
 func (a *FLOPSAccountant) Cycle(s *CycleSample) {
+	if s.Repeat > 1 {
+		a.cycleIdle(s)
+		return
+	}
 	a.stack.Cycles++
 	a.stack.FLOPs += uint64(s.VFPFlops)
 
@@ -164,34 +168,53 @@ func (a *FLOPSAccountant) Cycle(s *CycleSample) {
 		return
 	}
 	rem := (kf - float64(n)) / kf
+	a.stack.Comp[a.unissuedBucket(s)] += rem
+}
+
+// unissuedBucket classifies the cycle's unissued VFP slots (Table III lines
+// 8-18): which component absorbs the (k-n)/k remainder.
+func (a *FLOPSAccountant) unissuedBucket(s *CycleSample) FLOPSComponent {
 	switch {
 	case !s.VFPInRS:
 		// No VFP instructions available to issue.
 		if s.RSEmpty {
 			switch s.FECause {
 			case FEICache:
-				a.stack.Comp[FFrontendICache] += rem
+				return FFrontendICache
 			case FEBpred:
-				a.stack.Comp[FFrontendBpred] += rem
+				return FFrontendBpred
 			case FENone, FEMicrocode, FEDrained:
-				a.stack.Comp[FFrontendNoVFP] += rem
+				return FFrontendNoVFP
 			default:
-				a.stack.Comp[FOther] += rem
+				return FOther
 			}
-		} else {
-			a.stack.Comp[FFrontendNoVFP] += rem
 		}
+		return FFrontendNoVFP
 	case s.VUNonVFP > 0:
 		// A vector unit executed non-VFP work this cycle.
-		a.stack.Comp[FNonVFP] += rem
+		return FNonVFP
 	case s.OldestVFPWaitsLoad:
-		a.stack.Comp[FMem] += rem
+		return FMem
 	case s.OldestVFPClass != ProdNone:
-		a.stack.Comp[FDepend] += rem
+		return FDepend
 	default:
 		// VFP uops were ready but structurally blocked.
-		a.stack.Comp[FOther] += rem
+		return FOther
 	}
+}
+
+// cycleIdle accounts an idle-window sample: no VFP issue activity for
+// s.Repeat cycles, so the base/non-FMA/mask terms are all zero and each
+// cycle's full slot remainder (exactly 1.0 with n = 0) lands in a single
+// bucket that is constant across the window.
+func (a *FLOPSAccountant) cycleIdle(s *CycleSample) {
+	r := s.Repeat
+	a.stack.Cycles += r
+	if s.Unsched {
+		addWholeCycles(&a.stack.Comp[FUnsched], r)
+		return
+	}
+	addWholeCycles(&a.stack.Comp[a.unissuedBucket(s)], r)
 }
 
 // Finalize returns the measured FLOPS stack.

@@ -125,6 +125,10 @@ func NewMemDepthAccountant(w int) *MemDepthAccountant {
 
 // Cycle consumes one sample.
 func (a *MemDepthAccountant) Cycle(s *CycleSample) {
+	if s.Repeat > 1 {
+		a.cycleIdle(s)
+		return
+	}
 	a.stack.Cycles++
 	if s.Unsched {
 		return
@@ -143,6 +147,45 @@ func (a *MemDepthAccountant) Cycle(s *CycleSample) {
 	a.issueCarry = carry
 	if stall > 0 && !s.RSEmpty && s.FirstNonReadyClass == ProdDCache {
 		a.stack.Issue[levelOfDepth(s.FirstNonReadyMissDepth)] += stall
+	}
+}
+
+// cycleIdle accounts an idle-window sample: both stages see zero throughput
+// for s.Repeat cycles, the blamed load (if any) is constant, and after the
+// width carryover drains every cycle contributes exactly one stall cycle.
+func (a *MemDepthAccountant) cycleIdle(s *CycleSample) {
+	r := s.Repeat
+	a.stack.Cycles += r
+	if s.Unsched {
+		return
+	}
+
+	commitDC := !s.ROBEmpty && s.ROBHeadNotDone && s.ROBHeadClass == ProdDCache
+	rr := r
+	for rr > 0 && a.commitCarry > 0 {
+		stall, carry := stallFraction(0, a.commitCarry, a.width)
+		a.commitCarry = carry
+		if stall > 0 && commitDC {
+			a.stack.Commit[levelOfDepth(s.ROBHeadMissDepth)] += stall
+		}
+		rr--
+	}
+	if rr > 0 && commitDC {
+		addWholeCycles(&a.stack.Commit[levelOfDepth(s.ROBHeadMissDepth)], rr)
+	}
+
+	issueDC := !s.RSEmpty && s.FirstNonReadyClass == ProdDCache
+	rr = r
+	for rr > 0 && a.issueCarry > 0 {
+		stall, carry := stallFraction(0, a.issueCarry, a.width)
+		a.issueCarry = carry
+		if stall > 0 && issueDC {
+			a.stack.Issue[levelOfDepth(s.FirstNonReadyMissDepth)] += stall
+		}
+		rr--
+	}
+	if rr > 0 && issueDC {
+		addWholeCycles(&a.stack.Issue[levelOfDepth(s.FirstNonReadyMissDepth)], rr)
 	}
 }
 

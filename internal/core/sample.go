@@ -109,6 +109,18 @@ type CycleSample struct {
 	// Cycle is the cycle number (monotonically increasing from 0).
 	Cycle int64
 
+	// Repeat is the number of identical consecutive cycles this sample
+	// stands for; 0 and 1 both mean a single cycle. The pipeline emits
+	// Repeat > 1 only for provably idle windows: every per-cycle count
+	// (FetchN, DispatchN, IssueN, CommitN, wrong-path counts, VFP counts)
+	// is zero, HasCommit and HasSquash are false, and every other field is
+	// constant across the represented cycles — only Cycle varies (it names
+	// the first cycle of the window). The per-cycle accounting math of
+	// Tables II/III is piecewise-constant over such a window, so accountants
+	// add Repeat x weight in one call with results identical to being
+	// called Repeat times.
+	Repeat int64
+
 	// Unsched is true when the core is yielded at a barrier; all stages see
 	// zero throughput and the cycle is charged to the Unsched component.
 	Unsched bool

@@ -68,6 +68,40 @@ func (sp *specState) accountStage(st Stage, acct *stageAcct, s *CycleSample, n, 
 	}
 }
 
+// accountStageIdle is the batched-idle counterpart of accountStage: r
+// consecutive cycles with zero throughput, attributed to the same next
+// expected uop. Carry-draining cycles replay the per-cycle float operations
+// exactly; the remainder adds whole cycles to the classified component.
+func (sp *specState) accountStageIdle(st Stage, acct *stageAcct, s *CycleSample, w float64, cls func(*CycleSample) Component, r int64) {
+	var seq uint64
+	switch st {
+	case StageDispatch:
+		seq = s.DispatchYoungest + 1
+	default: // StageIssue
+		seq = s.IssueYoungest + 1
+	}
+	e := sp.entry(seq, s.WrongPath)
+	for r > 0 && acct.carry > 0 {
+		used := acct.carry
+		var f float64
+		if used >= w {
+			acct.carry = used - w
+			f = 1
+		} else {
+			acct.carry = 0
+			f = used / w
+		}
+		e.comp[st][CompBase] += f
+		if f < 1 {
+			e.comp[st][cls(s)] += 1 - f
+		}
+		r--
+	}
+	if r > 0 {
+		addWholeCycles(&e.comp[st][cls(s)], r)
+	}
+}
+
 // entry finds or creates the pending entry for seq.
 func (sp *specState) entry(seq uint64, wrong bool) *pendingEntry {
 	// The attribution target is almost always the most recent entry.

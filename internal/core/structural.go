@@ -83,6 +83,10 @@ func NewStructuralAccountant(w int) *StructuralAccountant {
 
 // Cycle consumes one sample.
 func (a *StructuralAccountant) Cycle(s *CycleSample) {
+	if s.Repeat > 1 {
+		a.cycleIdle(s)
+		return
+	}
 	a.stack.Cycles++
 	if s.Unsched {
 		return
@@ -94,13 +98,40 @@ func (a *StructuralAccountant) Cycle(s *CycleSample) {
 		// structural) by the main accountant.
 		return
 	}
+	a.stack.Cause[a.bucket(s)] += stall
+}
+
+// bucket classifies a structural stall cycle by its recorded cause.
+func (a *StructuralAccountant) bucket(s *CycleSample) StructuralCause {
 	switch {
 	case s.IssueBlockedMemOrder:
-		a.stack.Cause[StructMemOrder] += stall
+		return StructMemOrder
 	case s.IssueBlockedPort:
-		a.stack.Cause[StructPort] += stall
+		return StructPort
 	default:
-		a.stack.Cause[StructOther] += stall
+		return StructOther
+	}
+}
+
+// cycleIdle accounts an idle-window sample: zero issue throughput for
+// s.Repeat cycles with a constant structural-stall classification.
+func (a *StructuralAccountant) cycleIdle(s *CycleSample) {
+	r := s.Repeat
+	a.stack.Cycles += r
+	if s.Unsched {
+		return
+	}
+	structural := !s.RSEmpty && s.FirstNonReadyClass == ProdNone
+	for r > 0 && a.carry > 0 {
+		stall, carry := stallFraction(0, a.carry, a.width)
+		a.carry = carry
+		if stall > 0 && structural {
+			a.stack.Cause[a.bucket(s)] += stall
+		}
+		r--
+	}
+	if r > 0 && structural {
+		addWholeCycles(&a.stack.Cause[a.bucket(s)], r)
 	}
 }
 

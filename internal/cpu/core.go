@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"math"
+
 	"perfstacks/internal/bpred"
 	"perfstacks/internal/cache"
 	"perfstacks/internal/core"
@@ -86,6 +88,14 @@ type Core struct {
 	// uops (cache/predictor warm-up, mirroring the paper's fast-forward).
 	warmupLeft uint64
 
+	// noSkip disables event-driven idle-window skipping (the debugging
+	// escape hatch behind sim.Options.NoSkip). Skipping is also disabled
+	// automatically while a barrier waiter is installed: SMP harnesses step
+	// cores in lockstep against a shared uncore, and a core that jumps
+	// ahead would interleave its shared-cache accesses out of simulated-time
+	// order with its siblings'.
+	noSkip bool
+
 	// Stats accumulates run statistics.
 	Stats Stats
 }
@@ -122,7 +132,19 @@ func (c *Core) Attach(accts ...Accountant) { c.accts = append(c.accts, accts...)
 // accountants see) until n uops have committed, mirroring the paper's
 // fast-forward phase that warms caches and predictors before detailed
 // measurement.
+//
+// The warm-up boundary is sample-granular: the cycle whose commits cross the
+// remaining warm-up count is dropped whole — its entire sample, including the
+// commits beyond the boundary, is suppressed — and accounting starts with the
+// next sample. Idle-window skipping preserves this exactly: skipped windows
+// commit nothing, so they can never straddle the boundary.
 func (c *Core) SetWarmup(n uint64) { c.warmupLeft = n }
+
+// SetNoSkip disables (true) or re-enables (false) event-driven idle-window
+// skipping. With skipping disabled the core iterates every cycle of every
+// stall window — bit-identical results, useful for debugging the skip logic
+// and for measuring its speedup.
+func (c *Core) SetNoSkip(v bool) { c.noSkip = v }
 
 // Warm reports whether warm-up has completed.
 func (c *Core) Warm() bool { return c.warmupLeft == 0 }
@@ -147,13 +169,18 @@ func (c *Core) ReleaseBarrier() {
 // Yielded reports whether the core is waiting at a barrier.
 func (c *Core) Yielded() bool { return c.yielded }
 
-// Step advances the core by one cycle. It returns false once the core has
-// finished (trace drained and pipeline empty).
+// Step advances the core by at least one cycle. When the cycle turns out to
+// be idle — no stage made progress and every pending event's timestamp is
+// known — Step additionally jumps the clock over the provably-dead remainder
+// of the stall window, emitting one batched sample (CycleSample.Repeat) in
+// place of the per-cycle ones. It returns false once the core has finished
+// (trace drained and pipeline empty).
 func (c *Core) Step() bool {
 	if c.finished {
 		return false
 	}
 
+	qLen0 := c.fe.qLen
 	s := &c.sample
 	*s = core.CycleSample{
 		Cycle:            c.now,
@@ -204,11 +231,94 @@ func (c *Core) Step() bool {
 	c.now++
 	c.Stats.Cycles = c.now
 
-	c.Stats.ICacheStallCycles = c.fe.icacheStalls
 	if c.fe.exhausted() && c.rob.empty() {
 		c.finished = true
+		// Fetch-stall statistics are folded in once at the end of the run
+		// rather than being re-assigned every cycle.
+		c.Stats.ICacheStallCycles = c.fe.icacheStalls
+		return false
 	}
-	return !c.finished
+
+	// Event-driven stall skipping: if this cycle was provably idle — no
+	// stage made progress, nothing was squashed, and the frontend neither
+	// delivered nor synthesized uops — then every cycle until the next
+	// pending event is identical to it. Jump the clock there and emit one
+	// batched sample for the window.
+	if !c.noSkip && c.barrierWaiter == nil &&
+		s.CommitN == 0 && s.IssueN == 0 && s.IssueWrongN == 0 &&
+		s.DispatchN == 0 && s.DispatchWrongN == 0 && s.FetchN == 0 &&
+		!s.HasSquash && c.fe.qLen == qLen0 {
+		if next := c.nextEvent(); next > c.now && next != math.MaxInt64 {
+			s.Cycle = c.now
+			s.Repeat = next - c.now
+			// dispatch() sampled the frontend cause before fill ran this
+			// cycle; the window's cycles observe the post-fill state (e.g. a
+			// redirect penalty expiring straight into an I-cache miss), so
+			// refresh the frontend-derived fields before emitting.
+			s.FECause = c.fe.cause()
+			s.WrongPath = c.fe.wrongPath
+			c.emit(s)
+			c.now = next
+			c.Stats.Cycles = c.now
+		}
+	}
+	return true
+}
+
+// nextEvent returns the earliest cycle >= c.now at which the idle pipeline's
+// state can change, or math.MaxInt64 when no timed event is pending. It is
+// only meaningful right after an idle cycle: nothing dispatched, issued,
+// committed or fetched, so the only state transitions left are timed ones —
+// a pending branch resolution, the frontend's stall expiring (I-cache miss
+// return, redirect penalty, microcode occupancy), the ROB head completing,
+// an in-flight producer of a waiting RS entry completing (which can both
+// ready the consumer and change the blamed-producer classification), a
+// non-pipelined divider freeing up, or an in-flight store completing and
+// releasing a memory-order-blocked load.
+func (c *Core) nextEvent() int64 {
+	next := int64(math.MaxInt64)
+	consider := func(t int64) {
+		if t >= c.now && t < next {
+			next = t
+		}
+	}
+
+	if c.hasResolve {
+		consider(c.resolveAt)
+	}
+	consider(c.fe.stallUntil)
+	if h := c.rob.headEntry(); h != nil && h.issued {
+		consider(h.doneAt)
+	}
+	hasDiv := false
+	for _, slot := range c.rs {
+		e := c.rob.at(slot)
+		if e.u.Op == trace.OpDiv {
+			hasDiv = true
+		}
+		for _, src := range e.u.Src {
+			if src == trace.NoProducer {
+				continue
+			}
+			// Producers that have not issued cannot complete before some
+			// other event fires first; issued ones complete at a known time.
+			if t, ok := c.sb.readyAt(src); ok {
+				consider(t)
+			}
+		}
+	}
+	if hasDiv {
+		// A waiting divide can become issuable when a divider frees up.
+		for _, t := range c.divBusyUntil {
+			consider(t)
+		}
+	}
+	for i := range c.pendingStores {
+		if c.pendingStores[i].issued {
+			consider(c.pendingStores[i].doneAt)
+		}
+	}
+	return next
 }
 
 func (c *Core) emit(s *core.CycleSample) {

@@ -34,6 +34,11 @@ type Options struct {
 	// WarmupUops runs the first N uops without accounting, warming caches
 	// and predictors as the paper's fast-forward phase does.
 	WarmupUops uint64
+	// NoSkip disables event-driven idle-window skipping, forcing the core
+	// to iterate every cycle of every stall window. Results are bit-identical
+	// either way (see TestSkipEquivalence); the flag exists as a debugging
+	// escape hatch and for measuring the skipping speedup.
+	NoSkip bool
 }
 
 // Default measures multi-stage CPI stacks with oracle wrong-path handling on
@@ -99,6 +104,7 @@ func RunCustom(m config.Machine, tr trace.Reader, opts Options, acctOpts core.Op
 	hier := cache.NewHierarchy(m.Hierarchy)
 	pred := newPredictor(m)
 	c := cpu.New(m.Core, hier, pred, tr)
+	c.SetNoSkip(opts.NoSkip)
 
 	var cpiAcct *core.MultiStageAccountant
 	if opts.CPI {
@@ -205,6 +211,9 @@ func RunSMP(m config.Machine, n int, makeTrace func(tid int) trace.Reader, opts 
 		hier := cache.NewHierarchyShared(m.Hierarchy, sharedL3)
 		pred := newPredictor(m)
 		c := cpu.New(m.Core, hier, pred, makeTrace(i))
+		// Skipping is implicitly disabled in SMP runs (the barrier waiter
+		// forces lockstep stepping); mirror the option anyway for clarity.
+		c.SetNoSkip(opts.NoSkip)
 		if opts.CPI {
 			cpiAccts[i] = core.NewMultiStageAccountant(core.Options{
 				Width:  m.Core.MinWidth(),

