@@ -1,0 +1,169 @@
+// Package analysistest runs an analysis.Analyzer over in-memory test
+// packages and checks its diagnostics against expectations written in the
+// source, mirroring the x/tools package of the same name.
+//
+// Expectations are `// want` comments on the line the diagnostic is
+// expected at:
+//
+//	switch c { // want `switch over core.Component is not exhaustive`
+//
+// The quoted text (backquotes or double quotes) is a regular expression
+// matched against the diagnostic message. A line may carry several
+// expectations; every expectation must be matched by exactly one diagnostic
+// and every diagnostic must match an expectation.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"regexp"
+	"runtime"
+	"sort"
+	"testing"
+
+	"perfstacks/internal/analysis"
+)
+
+// Package is one in-memory test package. Packages may import earlier
+// packages in the slice passed to Run, and may import the standard library
+// (resolved by type-checking the stdlib from GOROOT source, so tests stay
+// hermetic).
+type Package struct {
+	// Path is the package's import path. Analyzers that key rules on path
+	// suffixes (e.g. "internal/core") see this path.
+	Path string
+	// Files maps file base name to source text.
+	Files map[string]string
+}
+
+// Run type-checks pkgs in order and applies a to every one of them,
+// comparing diagnostics against `// want` expectations in the sources.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...Package) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	built := make(map[string]*types.Package)
+
+	// Standard-library imports fall back to the source importer rooted at
+	// GOROOT; test packages resolve against the packages built so far.
+	std := importer.ForCompiler(fset, "source", nil)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := built[path]; ok {
+			return p, nil
+		}
+		return std.Import(path)
+	})
+
+	for _, tp := range pkgs {
+		var files []*ast.File
+		names := sortedKeys(tp.Files)
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, name, tp.Files[name], parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+		pkg, err := conf.Check(tp.Path, fset, files, info)
+		if err != nil {
+			t.Fatalf("typechecking %s: %v", tp.Path, err)
+		}
+		built[tp.Path] = pkg
+
+		var got []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s on %s: %v", a.Name, tp.Path, err)
+		}
+		check(t, fset, tp, files, got)
+	}
+}
+
+// expectation is one parsed `// want` pattern.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"[^\"]*\")")
+
+// check compares diagnostics against the `// want` comments of one package.
+func check(t *testing.T, fset *token.FileSet, tp Package, files []*ast.File, got []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat := m[1][1 : len(m[1])-1]
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", name, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file: name,
+						line: fset.Position(c.Pos()).Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

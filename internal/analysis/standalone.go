@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// listPackage is the subset of `go list -json` output the standalone driver
+// consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Standalone loads the packages matched by patterns via the go command,
+// type-checks each from source against export data built for its
+// dependencies, runs the analyzers, and prints findings to w. It returns the
+// process exit code: 0 clean, 1 driver error, 2 diagnostics found.
+//
+// Unlike the vettool path this does not analyze test files; CI runs the
+// suite through `go vet -vettool`, which does.
+func Standalone(w io.Writer, patterns []string, analyzers []*Analyzer) int {
+	args := append([]string{"list", "-e", "-json", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: go list: %v\n", err)
+		return 1
+	}
+
+	var targets []*listPackage
+	exports := make(map[string]string) // import path -> export data file
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: decoding go list output: %v\n", err)
+			return 1
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	exitCode := 0
+	for _, p := range targets {
+		if p.Error != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %s: %s\n", p.ImportPath, p.Error.Err)
+			exitCode = 1
+			continue
+		}
+		fset := token.NewFileSet()
+		files, err := parseFiles(fset, p.Dir, append(append([]string{}, p.GoFiles...), p.CgoFiles...))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			exitCode = 1
+			continue
+		}
+		imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		})
+		pkg, info, err := typecheck(fset, files, p.ImportPath, imp, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: typechecking %s: %v\n", p.ImportPath, err)
+			exitCode = 1
+			continue
+		}
+		diags, err := run(fset, files, pkg, info, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			exitCode = 1
+			continue
+		}
+		if len(diags) > 0 {
+			printDiagnostics(w, fset, diags, false, p.ImportPath)
+			if exitCode == 0 {
+				exitCode = 2
+			}
+		}
+	}
+	return exitCode
+}

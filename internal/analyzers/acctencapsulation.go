@@ -1,0 +1,177 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"perfstacks/internal/analysis"
+)
+
+// AcctEncapsulation keeps the stack accumulators single-writer: each
+// accountant's accumulator fields may be written (assigned, incremented,
+// address-taken, or set in a composite literal) only from that accountant's
+// own file set inside internal/core. Every other package — and every other
+// file in core — may read the finalized stacks but never mutate them, so
+// the conservation property Σ components = cycles proven for the accountants
+// cannot be broken from the outside.
+//
+// _test.go files are exempt: tests legitimately build stack fixtures and
+// the simdebug negative test deliberately corrupts an accumulator.
+var AcctEncapsulation = &analysis.Analyzer{
+	Name: "acctencapsulation",
+	Doc:  "stack accumulator fields are written only from their accountant's file set",
+	Run:  runAcctEncapsulation,
+}
+
+// acctOwners maps accumulator fields (by owning type and field name, all in
+// internal/core) to the file base names allowed to write them.
+var acctOwners = map[string]map[string][]string{
+	"Stack": {
+		"Comp": {"stack.go", "cpistack.go", "fetchstack.go"},
+	},
+	"FLOPSStack": {
+		"Comp": {"flops.go"},
+	},
+	"MemDepthStack": {
+		"Commit": {"memdepth.go"},
+		"Issue":  {"memdepth.go"},
+	},
+	"StructuralStack": {
+		"Cause": {"structural.go"},
+	},
+	"stageAcct": {
+		"comp":  {"cpistack.go", "fetchstack.go", "speculative.go"},
+		"carry": {"cpistack.go", "fetchstack.go", "speculative.go"},
+	},
+	"specState": {
+		"committed": {"speculative.go"},
+	},
+	"pendingEntry": {
+		"comp": {"speculative.go"},
+	},
+}
+
+func runAcctEncapsulation(pass *analysis.Pass) (interface{}, error) {
+	ann := gatherAnnotations(pass)
+	walkFiles(pass, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkAcctWrite(pass, ann, lhs, "assigned")
+			}
+		case *ast.IncDecStmt:
+			checkAcctWrite(pass, ann, n.X, "modified")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				checkAcctWrite(pass, ann, n.X, "address-taken")
+			}
+		case *ast.CompositeLit:
+			checkAcctLiteral(pass, ann, n)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkAcctWrite flags a write whose root selector is an accumulator field
+// written outside its owner file set.
+func checkAcctWrite(pass *analysis.Pass, ann *annotations, e ast.Expr, how string) {
+	// Peel indexing and parens down to the field selector being written.
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			goto peeled
+		}
+	}
+peeled:
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	owner := namedOf(selection.Recv())
+	if owner == nil {
+		return
+	}
+	reportIfForeign(pass, ann, sel, owner, sel.Sel.Name, how)
+}
+
+// checkAcctLiteral flags composite literals that populate accumulator fields
+// outside the owner file set (e.g. core.Stack{Comp: ...} in a client).
+func checkAcctLiteral(pass *analysis.Pass, ann *annotations, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	owner := namedOf(tv.Type)
+	if owner == nil {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		reportIfForeign(pass, ann, kv, owner, key.Name, "set in a composite literal")
+	}
+}
+
+// reportIfForeign reports a write to owner.field at pos unless pos lies in
+// an allowed file (or a test file) of internal/core.
+func reportIfForeign(pass *analysis.Pass, ann *annotations, pos ast.Node, owner *types.Named, field, how string) {
+	obj := owner.Obj()
+	if obj.Pkg() == nil || !pkgSuffix(obj.Pkg().Path(), "internal/core") {
+		return
+	}
+	fields, ok := acctOwners[obj.Name()]
+	if !ok {
+		return
+	}
+	allowed, ok := fields[field]
+	if !ok {
+		return
+	}
+	if isTestFile(pass.Fset, pos.Pos()) {
+		return
+	}
+	file := baseFile(pass.Fset, pos.Pos())
+	if pkgSuffix(pass.Pkg.Path(), "internal/core") {
+		for _, f := range allowed {
+			if f == file {
+				return
+			}
+		}
+	}
+	if ann.suppressed(pass, pos.Pos()) {
+		return
+	}
+	pass.Reportf(pos.Pos(), "accumulator %s.%s %s outside its accountant's file set (%s); accountants are the single writers of their stacks",
+		obj.Name(), field, how, strings.Join(allowed, ", "))
+}
+
+// namedOf unwraps t (through pointers) to its named type.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named
+}

@@ -1,0 +1,145 @@
+package analyzers
+
+import (
+	"testing"
+
+	"perfstacks/internal/analysis/analysistest"
+)
+
+func TestAcctEncapsulation(t *testing.T) {
+	analysistest.Run(t, AcctEncapsulation,
+		analysistest.Package{
+			Path: "example.com/fake/internal/core",
+			Files: map[string]string{
+				"stack.go": `package core
+
+type Component int
+
+const (
+	CompBase Component = iota
+	CompOther
+	NumComponents
+)
+
+// Stack is the finalized per-stage CPI stack.
+type Stack struct {
+	Comp   [NumComponents]float64
+	Cycles int64
+}
+
+// FLOPSStack is the finalized FLOPS stack.
+type FLOPSStack struct {
+	Comp [NumComponents]float64
+}
+
+func zeroStack(s *Stack) {
+	s.Comp = [NumComponents]float64{}
+}
+`,
+				"flops.go": `package core
+
+type flopsAcct struct{ st FLOPSStack }
+
+func (a *flopsAcct) add(c Component, v float64) {
+	a.st.Comp[c] += v
+}
+`,
+				"cpistack.go": `package core
+
+type msAcct struct{ st Stack }
+
+func (a *msAcct) add(c Component, v float64) {
+	a.st.Comp[c] += v
+}
+
+// wrongFile writes a FLOPS accumulator from cpistack.go, which belongs
+// to flops.go alone.
+func wrongFile(f *FLOPSStack, c Component) {
+	f.Comp[c] += 1 // want "accumulator FLOPSStack.Comp assigned outside its accountant's file set"
+}
+`,
+				"report.go": `package core
+
+// readers anywhere in core are fine.
+func total(s *Stack) float64 {
+	var t float64
+	for c := Component(0); c < NumComponents; c++ {
+		t += s.Comp[c]
+	}
+	return t
+}
+
+func corrupt(s *Stack) {
+	s.Comp[CompBase] = 0 // want "accumulator Stack.Comp assigned outside its accountant's file set"
+}
+
+func grabPtr(s *Stack) *[NumComponents]float64 {
+	return &s.Comp // want "accumulator Stack.Comp address-taken outside its accountant's file set"
+}
+
+func annotated(s *Stack) {
+	//simlint:partial calibration hook zeroes the stack before a re-run
+	s.Comp[CompBase] = 0
+}
+`,
+				"core_test.go": `package core
+
+// test files may build fixtures freely.
+func mkFixture() Stack {
+	var s Stack
+	s.Comp[CompBase] = 1
+	return s
+}
+`,
+			},
+		},
+	)
+}
+
+func TestAcctEncapsulationClientPackage(t *testing.T) {
+	analysistest.Run(t, AcctEncapsulation,
+		analysistest.Package{
+			Path: "example.com/fake/internal/core",
+			Files: map[string]string{
+				"stack.go": `package core
+
+type Component int
+
+const (
+	CompBase Component = iota
+	NumComponents
+)
+
+type Stack struct {
+	Comp   [NumComponents]float64
+	Cycles int64
+}
+`,
+			},
+		},
+		analysistest.Package{
+			Path: "example.com/fake/client",
+			Files: map[string]string{
+				"client.go": `package client
+
+import core "example.com/fake/internal/core"
+
+// Reads are fine from anywhere.
+func report(s *core.Stack) float64 { return s.Comp[core.CompBase] }
+
+// Clients may not mutate accumulators at all.
+func tamper(s *core.Stack) {
+	s.Comp[core.CompBase] += 1 // want "accumulator Stack.Comp assigned outside its accountant's file set"
+}
+
+func build() core.Stack {
+	return core.Stack{ // zero-building the struct is fine...
+		Cycles: 10,
+		Comp:   [core.NumComponents]float64{1}, // want "accumulator Stack.Comp set in a composite literal outside its accountant's file set"
+	}
+}
+`,
+			},
+		},
+	)
+}

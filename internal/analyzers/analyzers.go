@@ -1,0 +1,120 @@
+// Package analyzers holds the simlint suite: four static-analysis passes
+// that machine-check the accounting core's structural invariants — the
+// conventions that make every CPI/FLOPS stack sum exactly to total cycles.
+//
+//   - enumexhaustive: switches over accounting enums cover every value (or
+//     carry a //simlint:partial annotation) and fixed arrays indexed by such
+//     enums are sized by their Num* sentinel.
+//   - repeataware: every Cycle(*core.CycleSample) accountant handles batched
+//     Repeat samples instead of silently treating them as one cycle.
+//   - determinism: no wall-clock time, global math/rand, or map-iteration
+//     accumulation inside the simulation packages.
+//   - acctencapsulation: stack accumulator fields are written only from
+//     their accountant's own file set.
+//
+// DESIGN.md §7 lists the enforced invariants; cmd/simlint is the
+// multichecker binary that runs the suite (standalone or as a
+// `go vet -vettool`).
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"perfstacks/internal/analysis"
+)
+
+// All returns the full simlint suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		EnumExhaustive,
+		RepeatAware,
+		Determinism,
+		AcctEncapsulation,
+	}
+}
+
+// partialPrefix is the annotation that acknowledges a deliberately partial
+// switch, an intentionally smaller enum-indexed array, or any other finding
+// a human has reviewed. It must be followed by a reason.
+const partialPrefix = "//simlint:partial"
+
+// annotations records, per file line, the //simlint:partial comments of a
+// package, so analyzers can suppress acknowledged findings. An annotation
+// applies to findings on its own line and on the line directly below it
+// (i.e. it may trail the statement or sit on its own line above).
+type annotations struct {
+	fset *token.FileSet
+	// reasoned[file][line] is true when the annotation carries a reason.
+	lines map[string]map[int]bool
+}
+
+// gatherAnnotations scans all comments of the pass's files.
+func gatherAnnotations(pass *analysis.Pass) *annotations {
+	a := &annotations{fset: pass.Fset, lines: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, partialPrefix) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, partialPrefix))
+				pos := pass.Fset.Position(c.Pos())
+				m := a.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					a.lines[pos.Filename] = m
+				}
+				m[pos.Line] = reason != ""
+			}
+		}
+	}
+	return a
+}
+
+// suppressed reports whether a finding at pos is covered by an annotation,
+// and reports a diagnostic through report when an annotation exists but has
+// no reason (an empty acknowledgement is itself a finding).
+func (a *annotations) suppressed(pass *analysis.Pass, pos token.Pos) bool {
+	p := a.fset.Position(pos)
+	m := a.lines[p.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if reasoned, ok := m[line]; ok {
+			if !reasoned {
+				pass.Reportf(pos, "simlint:partial annotation requires a reason")
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// pkgSuffix reports whether path is suffix or ends in "/"+suffix.
+func pkgSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// baseFile returns the base name of the file containing pos.
+func baseFile(fset *token.FileSet, pos token.Pos) string {
+	name := fset.Position(pos).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// isTestFile reports whether pos lies in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(baseFile(fset, pos), "_test.go")
+}
+
+// walkFiles applies fn to every node of every file.
+func walkFiles(pass *analysis.Pass, fn func(ast.Node) bool) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, fn)
+	}
+}

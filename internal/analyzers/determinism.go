@@ -1,0 +1,192 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"perfstacks/internal/analysis"
+)
+
+// Determinism keeps the simulation and accounting packages bit-reproducible:
+// the skip-equivalence and conservation guarantees are stated as exact
+// (bit-identical) properties, which only hold if nothing in the simulation
+// path depends on wall-clock time, on the globally-seeded math/rand source,
+// or on Go's randomized map iteration order.
+//
+// Inside the gated packages it forbids:
+//   - time.Now / time.Since calls;
+//   - calls to package-level math/rand (and math/rand/v2) functions, which
+//     draw from the shared global source (constructors like rand.New and
+//     rand.NewSource are fine: a locally-seeded *rand.Rand is deterministic);
+//   - `for range` over a map whose body writes variables declared outside
+//     the loop (accumulation in map order).
+//
+// internal/experiments/overhead.go is allowlisted: it exists to wall-clock
+// the accounting overhead and legitimately reads the real time.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "no wall-clock, global math/rand, or map-order accumulation in simulation packages",
+	Run:  runDeterminism,
+}
+
+// determinismPackages are the gated package-path suffixes.
+var determinismPackages = []string{
+	"internal/core",
+	"internal/cpu",
+	"internal/cache",
+	"internal/sim",
+	"internal/experiments",
+}
+
+// determinismAllowFiles are file base names exempt from the check.
+var determinismAllowFiles = map[string]bool{
+	"overhead.go": true,
+}
+
+func runDeterminism(pass *analysis.Pass) (interface{}, error) {
+	gated := false
+	for _, suffix := range determinismPackages {
+		if pkgSuffix(pass.Pkg.Path(), suffix) {
+			gated = true
+			break
+		}
+	}
+	if !gated {
+		return nil, nil
+	}
+
+	ann := gatherAnnotations(pass)
+	walkFiles(pass, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkNondetCall(pass, ann, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, ann, n)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// exempt reports whether pos is in an allowlisted file.
+func exempt(pass *analysis.Pass, pos ast.Node) bool {
+	return determinismAllowFiles[baseFile(pass.Fset, pos.Pos())]
+}
+
+// checkNondetCall flags time.Now/time.Since and global math/rand calls.
+func checkNondetCall(pass *analysis.Pass, ann *annotations, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are deterministic
+	}
+	var why string
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			why = "reads the wall clock"
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// Constructors produce locally-seeded, reproducible sources.
+		default:
+			why = "draws from the global math/rand source"
+		}
+	}
+	if why == "" {
+		return
+	}
+	if exempt(pass, call) || ann.suppressed(pass, call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s.%s %s; simulation results must be bit-reproducible (use a seeded local source, or annotate with %s <reason>)",
+		fn.Pkg().Name(), fn.Name(), why, partialPrefix)
+}
+
+// checkMapRange flags map iterations that accumulate into outer variables.
+func checkMapRange(pass *analysis.Pass, ann *annotations, rs *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	sink := outerWriteTarget(pass, rs)
+	if sink == "" {
+		return
+	}
+	if exempt(pass, rs) || ann.suppressed(pass, rs.Pos()) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "map iteration feeds accumulator %q in nondeterministic order; iterate a sorted key slice instead, or annotate with %s <reason>",
+		sink, partialPrefix)
+}
+
+// outerWriteTarget returns the name of a variable declared outside the range
+// statement that its body assigns to (plain, compound, or ++/--), or "".
+// Order-insensitive float addition is still nondeterministic in rounding, so
+// any outer write from inside a map range is treated as an accumulation.
+func outerWriteTarget(pass *analysis.Pass, rs *ast.RangeStmt) string {
+	var sink string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if name := outerRootVar(pass, rs, lhs); name != "" {
+					sink = name
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if name := outerRootVar(pass, rs, n.X); name != "" {
+				sink = name
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// outerRootVar peels an lvalue to its root identifier and returns its name
+// when it is a variable declared outside the range statement.
+func outerRootVar(pass *analysis.Pass, rs *ast.RangeStmt, e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj, ok := pass.TypesInfo.Uses[x].(*types.Var)
+			if !ok {
+				if obj2, ok2 := pass.TypesInfo.Defs[x].(*types.Var); ok2 {
+					obj = obj2
+				} else {
+					return ""
+				}
+			}
+			if obj.Pos() < rs.Pos() || obj.Pos() > rs.End() {
+				return obj.Name()
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package analyzers
+
+import (
+	"testing"
+
+	"perfstacks/internal/analysis/analysistest"
+)
+
+func TestDeterminismGatedPackage(t *testing.T) {
+	analysistest.Run(t, Determinism,
+		analysistest.Package{
+			Path: "example.com/fake/internal/sim",
+			Files: map[string]string{
+				"sim.go": `package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want "call to time.Now reads the wall clock"
+	return t.Unix()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "call to time.Since reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "draws from the global math/rand source"
+}
+
+func localRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func mapAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "map iteration feeds accumulator .sum. in nondeterministic order"
+		sum += v
+	}
+	return sum
+}
+
+func mapReadOnly(m map[string]float64, k string) bool {
+	for key := range m {
+		if key == k {
+			return true
+		}
+	}
+	return false
+}
+
+func mapLocalOnly(m map[string]int) {
+	for _, v := range m {
+		x := v
+		x++
+		_ = x
+	}
+}
+
+func mapAnnotated(m map[string]float64) float64 {
+	var sum float64
+	//simlint:partial summation is order-insensitive here by test construction
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+`,
+			},
+		},
+	)
+}
+
+func TestDeterminismUngatedPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, Determinism,
+		analysistest.Package{
+			Path: "example.com/fake/tools",
+			Files: map[string]string{
+				"tools.go": `package tools
+
+import "time"
+
+func now() time.Time { return time.Now() }
+`,
+			},
+		},
+	)
+}
+
+func TestDeterminismOverheadFileAllowlisted(t *testing.T) {
+	analysistest.Run(t, Determinism,
+		analysistest.Package{
+			Path: "example.com/fake/internal/experiments",
+			Files: map[string]string{
+				"overhead.go": `package experiments
+
+import "time"
+
+// Overhead wall-clocks the accounting overhead; this file is allowlisted.
+func Overhead() time.Time { return time.Now() }
+`,
+			},
+		},
+	)
+}

@@ -1,0 +1,245 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"perfstacks/internal/analysis"
+)
+
+// EnumExhaustive enforces the two structural conventions that size and cover
+// the accounting enums:
+//
+//  1. every `switch` whose tag is an accounting enum lists every enum value
+//     in its cases (a `default` clause does not count as coverage), or
+//     carries a //simlint:partial annotation with a reason;
+//  2. every fixed array indexed by such an enum is declared with the enum's
+//     Num* sentinel length, so adding an enum value cannot silently leave a
+//     too-short accumulator array behind.
+//
+// An enum qualifies when its defining package declares a Num*/num* sentinel
+// constant of the same type (Component, FLOPSComponent, Stage, MemLevel,
+// StructuralCause, Op), or when it is one of the sentinel-less accounting
+// enums listed in enumAllowlist (FECause, ProdClass, WrongPathScheme —
+// whose sets are closed by Table II itself).
+var EnumExhaustive = &analysis.Analyzer{
+	Name: "enumexhaustive",
+	Doc:  "switches over accounting enums must cover every value; enum-indexed arrays must be sentinel-sized",
+	Run:  runEnumExhaustive,
+}
+
+// enumAllowlist lists sentinel-less enums by defining-package path suffix.
+var enumAllowlist = map[string][]string{
+	"internal/core":  {"FECause", "ProdClass", "WrongPathScheme"},
+	"internal/trace": {"Op"},
+}
+
+// enumInfo describes one qualifying enum type.
+type enumInfo struct {
+	named *types.Named
+	// members are the non-sentinel constants, ordered by value.
+	members []enumMember
+	// sentinelLen is the required fixed-array length: the Num*/num*
+	// sentinel's value, or max+1 when the enum has no sentinel.
+	sentinelLen int64
+	// sentinelName names the sentinel constant ("" when none).
+	sentinelName string
+}
+
+type enumMember struct {
+	name  string
+	value int64
+}
+
+func runEnumExhaustive(pass *analysis.Pass) (interface{}, error) {
+	ann := gatherAnnotations(pass)
+	cache := make(map[*types.Named]*enumInfo)
+
+	walkFiles(pass, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SwitchStmt:
+			checkSwitch(pass, ann, cache, n)
+		case *ast.IndexExpr:
+			checkEnumIndex(pass, ann, cache, n)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// enumFor classifies t, returning nil when it is not a qualifying enum.
+func enumFor(pass *analysis.Pass, cache map[*types.Named]*enumInfo, t types.Type) *enumInfo {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if info, ok := cache[named]; ok {
+		return info
+	}
+	cache[named] = nil // break cycles; overwritten on success
+
+	obj := named.Obj()
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 || basic.Info()&types.IsBoolean != 0 {
+		return nil
+	}
+
+	info := &enumInfo{named: named, sentinelLen: -1}
+	var maxVal int64
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok {
+			continue
+		}
+		if strings.HasPrefix(name, "Num") || strings.HasPrefix(name, "num") {
+			// Sentinel: records the enum's cardinality, is not a member.
+			if v > info.sentinelLen {
+				info.sentinelLen = v
+				info.sentinelName = name
+			}
+			continue
+		}
+		info.members = append(info.members, enumMember{name: name, value: v})
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if len(info.members) < 2 {
+		return nil
+	}
+	if info.sentinelName == "" {
+		allowed := false
+		for _, name := range enumAllowlist[pkgPathSuffixKey(pkg.Path())] {
+			if name == obj.Name() {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			return nil
+		}
+		info.sentinelLen = maxVal + 1
+	}
+	sort.Slice(info.members, func(i, j int) bool { return info.members[i].value < info.members[j].value })
+	cache[named] = info
+	return info
+}
+
+// pkgPathSuffixKey maps a package path onto the allowlist key it matches.
+func pkgPathSuffixKey(path string) string {
+	for suffix := range enumAllowlist {
+		if pkgSuffix(path, suffix) {
+			return suffix
+		}
+	}
+	return ""
+}
+
+// checkSwitch verifies case coverage of one switch statement.
+func checkSwitch(pass *analysis.Pass, ann *annotations, cache map[*types.Named]*enumInfo, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	info := enumFor(pass, cache, tv.Type)
+	if info == nil {
+		return
+	}
+
+	covered := make(map[int64]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			etv, ok := pass.TypesInfo.Types[e]
+			if !ok || etv.Value == nil {
+				// A non-constant case expression defeats static coverage
+				// analysis; such switches are outside this check's scope.
+				return
+			}
+			if v, ok := constant.Int64Val(constant.ToInt(etv.Value)); ok {
+				covered[v] = true
+			}
+		}
+	}
+
+	var missing []string
+	seen := make(map[int64]bool)
+	for _, m := range info.members {
+		if !covered[m.value] && !seen[m.value] {
+			missing = append(missing, m.name)
+			seen[m.value] = true
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if ann.suppressed(pass, sw.Pos()) {
+		return
+	}
+	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s (cover the values or annotate with %s <reason>)",
+		typeLabel(info.named), strings.Join(missing, ", "), partialPrefix)
+}
+
+// checkEnumIndex verifies that an array indexed by an enum has the
+// sentinel-derived length.
+func checkEnumIndex(pass *analysis.Pass, ann *annotations, cache map[*types.Named]*enumInfo, ix *ast.IndexExpr) {
+	itv, ok := pass.TypesInfo.Types[ix.Index]
+	if !ok {
+		return
+	}
+	info := enumFor(pass, cache, itv.Type)
+	if info == nil {
+		return
+	}
+	xt := pass.TypesInfo.Types[ix.X].Type
+	if xt == nil {
+		return
+	}
+	if ptr, ok := xt.Underlying().(*types.Pointer); ok {
+		xt = ptr.Elem()
+	}
+	arr, ok := xt.Underlying().(*types.Array)
+	if !ok {
+		return // slices and maps size dynamically; not this check's concern
+	}
+	if arr.Len() == info.sentinelLen {
+		return
+	}
+	if ann.suppressed(pass, ix.Pos()) {
+		return
+	}
+	want := fmt.Sprintf("%d", info.sentinelLen)
+	if info.sentinelName != "" {
+		want = fmt.Sprintf("%s (= %d)", info.sentinelName, info.sentinelLen)
+	}
+	pass.Reportf(ix.Pos(), "array of length %d indexed by %s; declare it with length %s or annotate with %s <reason>",
+		arr.Len(), typeLabel(info.named), want, partialPrefix)
+}
+
+// typeLabel renders a named type as pkg.Name.
+func typeLabel(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

@@ -1,0 +1,155 @@
+package analyzers
+
+import (
+	"testing"
+
+	"perfstacks/internal/analysis/analysistest"
+)
+
+// fakeCore declares a sentinel-sized enum (Component/NumComponents) and an
+// allowlisted sentinel-less enum (FECause) the way internal/core does.
+const fakeCoreEnums = `package core
+
+type Component int
+
+const (
+	CompA Component = iota
+	CompB
+	CompC
+	NumComponents
+)
+
+type FECause uint8
+
+const (
+	FENone FECause = iota
+	FEICache
+	FEBpred
+)
+
+// plain is an integer type with constants but neither sentinel nor
+// allowlist entry: not an accounting enum.
+type plain int
+
+const (
+	plainA plain = iota
+	plainB
+	plainC
+)
+`
+
+func TestEnumExhaustiveSwitches(t *testing.T) {
+	analysistest.Run(t, EnumExhaustive,
+		analysistest.Package{
+			Path: "example.com/fake/internal/core",
+			Files: map[string]string{
+				"enums.go": fakeCoreEnums,
+				"switches.go": `package core
+
+func exhaustive(c Component) int {
+	switch c {
+	case CompA:
+		return 0
+	case CompB, CompC:
+		return 1
+	}
+	return 2
+}
+
+func missingOne(c Component) int {
+	switch c { // want "switch over core.Component is not exhaustive: missing CompC"
+	case CompA, CompB:
+		return 0
+	}
+	return 1
+}
+
+func defaultDoesNotCover(c Component) int {
+	switch c { // want "not exhaustive: missing CompB, CompC"
+	case CompA:
+		return 0
+	default:
+		return 1
+	}
+}
+
+func annotated(c Component) int {
+	//simlint:partial only CompA needs special handling here
+	switch c {
+	case CompA:
+		return 0
+	}
+	return 1
+}
+
+func annotatedNoReason(c Component) int {
+	//simlint:partial
+	switch c { // want "annotation requires a reason"
+	case CompA:
+		return 0
+	}
+	return 1
+}
+
+func allowlisted(c FECause) int {
+	switch c { // want "switch over core.FECause is not exhaustive: missing FEBpred"
+	case FENone, FEICache:
+		return 0
+	}
+	return 1
+}
+
+func notAnEnum(p plain) int {
+	switch p {
+	case plainA:
+		return 0
+	}
+	return 1
+}
+`,
+			},
+		},
+	)
+}
+
+func TestEnumExhaustiveCrossPackageAndArrays(t *testing.T) {
+	analysistest.Run(t, EnumExhaustive,
+		analysistest.Package{
+			Path:  "example.com/fake/internal/core",
+			Files: map[string]string{"enums.go": fakeCoreEnums},
+		},
+		analysistest.Package{
+			Path: "example.com/fake/client",
+			Files: map[string]string{
+				"client.go": `package client
+
+import core "example.com/fake/internal/core"
+
+func classify(c core.Component) int {
+	switch c { // want "not exhaustive: missing CompC"
+	case core.CompA, core.CompB:
+		return 0
+	}
+	return 1
+}
+
+var good [core.NumComponents]float64
+var bad [2]float64
+
+func readGood(c core.Component) float64 { return good[c] }
+
+func readBad(c core.Component) float64 {
+	return bad[c] // want "array of length 2 indexed by core.Component; declare it with length NumComponents"
+}
+
+func readSlice(c core.Component, s []float64) float64 { return s[c] }
+
+func annotatedArray(c core.Component) float64 {
+	//simlint:partial this view intentionally tracks the first two components
+	return bad[c]
+}
+`,
+			},
+		},
+	)
+}

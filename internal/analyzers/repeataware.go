@@ -1,0 +1,126 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"perfstacks/internal/analysis"
+)
+
+// RepeatAware enforces the batched-accounting contract introduced with
+// event-driven stall skipping: the pipeline may emit one CycleSample with
+// Repeat = k standing for k identical idle cycles, so every accountant —
+// any method shaped like `Cycle(*core.CycleSample)` — must either inspect
+// the sample's Repeat field or delegate to one of the batch helpers
+// (addWholeCycles, idle, cycleIdle) or to another accountant's Cycle
+// method. An accountant that does none of these silently under-counts every
+// skipped stall window by a factor of Repeat.
+var RepeatAware = &analysis.Analyzer{
+	Name: "repeataware",
+	Doc:  "Cycle(*core.CycleSample) methods must handle batched Repeat samples",
+	Run:  runRepeatAware,
+}
+
+// batchHelpers are the callee names that prove batched handling: the shared
+// whole-cycle adder and the per-accountant idle-window paths.
+var batchHelpers = map[string]bool{
+	"addWholeCycles": true,
+	"idle":           true,
+	"cycleIdle":      true,
+}
+
+func runRepeatAware(pass *analysis.Pass) (interface{}, error) {
+	ann := gatherAnnotations(pass)
+	walkFiles(pass, func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Recv == nil || fn.Name.Name != "Cycle" || fn.Body == nil {
+			return true
+		}
+		if !takesCycleSample(pass, fn) {
+			return true
+		}
+		if handlesRepeat(pass, fn.Body) {
+			return true
+		}
+		if ann.suppressed(pass, fn.Pos()) {
+			return true
+		}
+		pass.Reportf(fn.Pos(), "accountant %s.Cycle ignores CycleSample.Repeat: batched idle windows would be counted once; read s.Repeat or delegate to a batch helper (addWholeCycles/idle/cycleIdle)",
+			recvTypeName(pass, fn))
+		return true
+	})
+	return nil, nil
+}
+
+// takesCycleSample reports whether fn's sole parameter is a (pointer to)
+// core.CycleSample.
+func takesCycleSample(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	params := fn.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) > 1 {
+		return false
+	}
+	t := pass.TypesInfo.Types[params.List[0].Type].Type
+	return isCycleSample(t)
+}
+
+// isCycleSample recognizes core.CycleSample, by pointer or value.
+func isCycleSample(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "CycleSample" && obj.Pkg() != nil && pkgSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+// handlesRepeat reports whether the body reads a CycleSample's Repeat field,
+// calls a batch helper, or forwards the sample to another Cycle method.
+func handlesRepeat(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Repeat" && isCycleSample(pass.TypesInfo.Types[n.X].Type) {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if batchHelpers[fun.Name] {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if batchHelpers[fun.Sel.Name] {
+					found = true
+				}
+				// Delegation: forwarding the sample to another accountant's
+				// Cycle method transfers the obligation to the delegate.
+				if fun.Sel.Name == "Cycle" && len(n.Args) == 1 {
+					if isCycleSample(pass.TypesInfo.Types[n.Args[0]].Type) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// recvTypeName names fn's receiver type for diagnostics.
+func recvTypeName(pass *analysis.Pass, fn *ast.FuncDecl) string {
+	t := pass.TypesInfo.Types[fn.Recv.List[0].Type].Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return "?"
+}

@@ -1,0 +1,76 @@
+package analyzers
+
+import (
+	"testing"
+
+	"perfstacks/internal/analysis/analysistest"
+)
+
+func TestRepeatAware(t *testing.T) {
+	analysistest.Run(t, RepeatAware,
+		analysistest.Package{
+			Path: "example.com/fake/internal/core",
+			Files: map[string]string{
+				"sample.go": `package core
+
+type CycleSample struct {
+	Cycle   int64
+	Repeat  int64
+	CommitN int
+}
+
+func addWholeCycles(x *float64, n int64) { *x += float64(n) }
+`,
+				"acct.go": `package core
+
+// good reads Repeat directly.
+type good struct{ cycles int64 }
+
+func (g *good) Cycle(s *CycleSample) {
+	r := s.Repeat
+	if r < 1 {
+		r = 1
+	}
+	g.cycles += r
+}
+
+// helperUser delegates batching to addWholeCycles.
+type helperUser struct{ comp float64 }
+
+func (h *helperUser) Cycle(s *CycleSample) {
+	addWholeCycles(&h.comp, 1)
+}
+
+// delegator forwards the sample to a Repeat-aware accountant.
+type delegator struct{ inner good }
+
+func (d *delegator) Cycle(s *CycleSample) {
+	d.inner.Cycle(s)
+}
+
+// bad counts every sample as one cycle, ignoring batched idle windows.
+type bad struct{ cycles int64 }
+
+func (b *bad) Cycle(s *CycleSample) { // want "accountant bad.Cycle ignores CycleSample.Repeat"
+	b.cycles++
+}
+
+// annotated is acknowledged.
+type annotated struct{ n int64 }
+
+//simlint:partial sample sink for debugging; cycle counts are never read
+func (a *annotated) Cycle(s *CycleSample) {
+	a.n++
+}
+
+// notASample has the right name but the wrong parameter type.
+type notASample struct{ n int64 }
+
+func (x *notASample) Cycle(v int) {
+	x.n++
+}
+`,
+			},
+		},
+	)
+}

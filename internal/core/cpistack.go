@@ -1,5 +1,7 @@
 package core
 
+import "perfstacks/internal/invariant"
+
 // WrongPathScheme selects how dispatch- and issue-stage accounting treats
 // speculatively processed (possibly wrong-path) uops, per §III-B.
 type WrongPathScheme int
@@ -57,6 +59,10 @@ type Options struct {
 type stageAcct struct {
 	comp  [NumComponents]float64
 	carry float64
+	// dbgMaxN records the largest n seen, for the simdebug carry-bound check
+	// (carry <= w only holds while every n fits the width). Written only when
+	// invariant.Enabled.
+	dbgMaxN float64
 }
 
 // cycle accounts one cycle's base fraction for n uops processed against
@@ -64,6 +70,9 @@ type stageAcct struct {
 // The caller charges the remainder to the classified component; deferring
 // classification keeps it off the common full-width path.
 func (a *stageAcct) cycle(n float64, w float64) float64 {
+	if invariant.Enabled && n > a.dbgMaxN {
+		a.dbgMaxN = n
+	}
 	used := n + a.carry
 	if used >= w {
 		a.carry = used - w
@@ -102,6 +111,7 @@ type MultiStageAccountant struct {
 	cycles int64
 	insts  uint64
 	spec   *specState
+	dbg    debugTick
 }
 
 // NewMultiStageAccountant builds an accountant. Width must be >= 1.
@@ -122,6 +132,12 @@ func (m *MultiStageAccountant) Options() Options { return m.opts }
 // Cycle consumes one cycle's sample. A sample with Repeat > 1 stands for
 // that many identical idle cycles and is accounted in one batched step.
 func (m *MultiStageAccountant) Cycle(s *CycleSample) {
+	if invariant.Enabled {
+		debugCheckSample(s)
+		if m.dbg.due(m.cycles) {
+			m.debugConserve()
+		}
+	}
 	if s.Repeat > 1 {
 		m.cycleIdle(s)
 		return
@@ -279,6 +295,9 @@ func (m *MultiStageAccountant) Finalize(instructions uint64) *MultiStack {
 	}
 	if m.spec != nil {
 		m.spec.flush(&m.stages)
+	}
+	if invariant.Enabled {
+		m.debugConserve()
 	}
 	out := &MultiStack{}
 	for st := Stage(0); st < NumStages; st++ {

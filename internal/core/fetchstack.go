@@ -1,5 +1,7 @@
 package core
 
+import "perfstacks/internal/invariant"
+
 // FetchAccountant measures a CPI stack at the fetch/decode stage — the
 // paper notes "similar accounting can be done at other stages (e.g., fetch
 // and decode)" (§III-A). The classification mirrors the dispatch column of
@@ -16,6 +18,7 @@ type FetchAccountant struct {
 	width  float64
 	cycles int64
 	insts  uint64
+	dbg    debugTick
 }
 
 // NewFetchAccountant builds an accountant for normalization width w.
@@ -28,6 +31,12 @@ func NewFetchAccountant(w int) *FetchAccountant {
 
 // Cycle consumes one sample.
 func (a *FetchAccountant) Cycle(s *CycleSample) {
+	if invariant.Enabled {
+		debugCheckSample(s)
+		if a.dbg.due(a.cycles) {
+			a.debugConserve()
+		}
+	}
 	if s.Repeat > 1 {
 		// Idle window: zero fetch throughput with a constant stall cause.
 		a.cycles += s.Repeat
@@ -66,6 +75,9 @@ func (a *FetchAccountant) classify(s *CycleSample) Component {
 
 // Finalize returns the fetch-stage stack.
 func (a *FetchAccountant) Finalize() Stack {
+	if invariant.Enabled {
+		a.debugConserve()
+	}
 	return Stack{
 		Stage:        StageFetch,
 		Width:        int(a.width),

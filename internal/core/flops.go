@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"perfstacks/internal/invariant"
 )
 
 // FLOPSStack is the issue-stage floating-point throughput stack of Table III.
@@ -110,6 +112,7 @@ type FLOPSAccountant struct {
 	k, v   int
 	stack  FLOPSStack
 	maxOps float64
+	dbg    debugTick
 }
 
 // NewFLOPSAccountant builds an accountant for a core with k vector FP units
@@ -133,6 +136,12 @@ func NewFLOPSAccountant(k, v int) *FLOPSAccountant {
 // with the (k−n)/k unissued-slot classification every cycle accounts to
 // exactly 1.
 func (a *FLOPSAccountant) Cycle(s *CycleSample) {
+	if invariant.Enabled {
+		debugCheckSample(s)
+		if a.dbg.due(a.stack.Cycles) {
+			a.debugConserve()
+		}
+	}
 	if s.Repeat > 1 {
 		a.cycleIdle(s)
 		return
@@ -143,6 +152,9 @@ func (a *FLOPSAccountant) Cycle(s *CycleSample) {
 	if s.Unsched {
 		a.stack.Comp[FUnsched]++
 		return
+	}
+	if invariant.Enabled {
+		a.debugCheckVFP(s)
 	}
 
 	kf := float64(a.k)
@@ -185,6 +197,10 @@ func (a *FLOPSAccountant) unissuedBucket(s *CycleSample) FLOPSComponent {
 				return FFrontendBpred
 			case FENone, FEMicrocode, FEDrained:
 				return FFrontendNoVFP
+			case FEUnsched:
+				// Unreachable: Unsched cycles are charged to FUnsched before
+				// classification. Kept for exhaustiveness.
+				return FOther
 			default:
 				return FOther
 			}
@@ -219,6 +235,9 @@ func (a *FLOPSAccountant) cycleIdle(s *CycleSample) {
 
 // Finalize returns the measured FLOPS stack.
 func (a *FLOPSAccountant) Finalize() FLOPSStack {
+	if invariant.Enabled {
+		a.debugConserve()
+	}
 	out := a.stack
 	out.K = a.k
 	out.V = a.v

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"perfstacks/internal/invariant"
 )
 
 // MemLevel buckets a D-cache stall by the level that served the miss — the
@@ -113,6 +115,7 @@ type MemDepthAccountant struct {
 	commitCarry float64
 	issueCarry  float64
 	stack       MemDepthStack
+	dbg         debugTick
 }
 
 // NewMemDepthAccountant builds an accountant for normalization width w.
@@ -125,6 +128,12 @@ func NewMemDepthAccountant(w int) *MemDepthAccountant {
 
 // Cycle consumes one sample.
 func (a *MemDepthAccountant) Cycle(s *CycleSample) {
+	if invariant.Enabled {
+		debugCheckSample(s)
+		if a.dbg.due(a.stack.Cycles) {
+			a.debugConserve()
+		}
+	}
 	if s.Repeat > 1 {
 		a.cycleIdle(s)
 		return
@@ -200,4 +209,9 @@ func stallFraction(n, carry, w float64) (stall, nextCarry float64) {
 }
 
 // Finalize returns the measured breakdown.
-func (a *MemDepthAccountant) Finalize() MemDepthStack { return a.stack }
+func (a *MemDepthAccountant) Finalize() MemDepthStack {
+	if invariant.Enabled {
+		a.debugConserve()
+	}
+	return a.stack
+}

@@ -51,6 +51,10 @@ func (c FECause) Component() Component {
 		return CompMicrocode
 	case FEUnsched:
 		return CompUnsched
+	case FENone, FEDrained:
+		// No frontend event to blame: a quiet frontend or end-of-trace drain
+		// charges the unattributed component.
+		return CompOther
 	default:
 		return CompOther
 	}
@@ -98,6 +102,9 @@ func (p ProdClass) Component() Component {
 		return CompALULat
 	case ProdDepend:
 		return CompDepend
+	case ProdNone:
+		// Nothing to blame: the stall is structural / unattributed.
+		return CompOther
 	default:
 		return CompOther
 	}

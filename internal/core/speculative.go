@@ -1,5 +1,7 @@
 package core
 
+import "perfstacks/internal/invariant"
+
 // specState implements the speculative-counter wrong-path scheme of §III-B:
 // instead of adding stall cycles directly to the global counters, each
 // cycle's dispatch- and issue-stage increments are kept in a per-uop
@@ -9,16 +11,18 @@ package core
 // (wrong-path) uops are folded into the global branch component.
 type specState struct {
 	pending []pendingEntry
-	// committed accumulates folded increments per stage (dispatch, issue)
-	// until flush adds them to the stage accumulators.
-	committed [2][NumComponents]float64
+	// committed accumulates folded increments per stage until flush adds
+	// them to the stage accumulators. Only the dispatch and issue slots are
+	// ever written: commit-stage accounting is never speculative.
+	committed [NumStages][NumComponents]float64
 }
 
-// pendingEntry buffers the increments attributed to one uop.
+// pendingEntry buffers the increments attributed to one uop. As with
+// specState.committed, the commit-stage slot stays zero by construction.
 type pendingEntry struct {
 	seq       uint64
 	wrongPath bool
-	comp      [2][NumComponents]float64 // dispatch and issue stages only
+	comp      [NumStages][NumComponents]float64
 }
 
 func newSpecState() *specState {
@@ -28,6 +32,9 @@ func newSpecState() *specState {
 // accountStage mirrors stageAcct.cycle but routes the increments into the
 // per-uop buffer. st must be StageDispatch or StageIssue.
 func (sp *specState) accountStage(st Stage, acct *stageAcct, s *CycleSample, n, w float64, cls func(*CycleSample) Component) {
+	if invariant.Enabled && n > acct.dbgMaxN {
+		acct.dbgMaxN = n
+	}
 	used := n + acct.carry
 	var f float64
 	if used >= w {
@@ -42,6 +49,7 @@ func (sp *specState) accountStage(st Stage, acct *stageAcct, s *CycleSample, n, 
 	// youngest uop processed, or (on a dead cycle) the next uop expected.
 	var seq uint64
 	var wrong bool
+	//simlint:partial only dispatch and issue account speculatively; callers never pass the commit or fetch stages
 	switch st {
 	case StageDispatch:
 		if s.DispatchN+s.DispatchWrongN > 0 {
@@ -74,6 +82,7 @@ func (sp *specState) accountStage(st Stage, acct *stageAcct, s *CycleSample, n, 
 // exactly; the remainder adds whole cycles to the classified component.
 func (sp *specState) accountStageIdle(st Stage, acct *stageAcct, s *CycleSample, w float64, cls func(*CycleSample) Component, r int64) {
 	var seq uint64
+	//simlint:partial only dispatch and issue account speculatively; callers never pass the commit or fetch stages
 	switch st {
 	case StageDispatch:
 		seq = s.DispatchYoungest + 1
@@ -135,7 +144,7 @@ func (sp *specState) commit(through uint64) {
 	for i := range sp.pending {
 		e := &sp.pending[i]
 		if !e.wrongPath && e.seq <= through {
-			for st := 0; st < 2; st++ {
+			for st := Stage(0); st < NumStages; st++ {
 				for c := 0; c < int(NumComponents); c++ {
 					sp.committed[st][c] += e.comp[st][c]
 				}
@@ -154,7 +163,7 @@ func (sp *specState) squash() {
 	for i := range sp.pending {
 		e := &sp.pending[i]
 		if e.wrongPath {
-			for st := 0; st < 2; st++ {
+			for st := Stage(0); st < NumStages; st++ {
 				var total float64
 				for c := 0; c < int(NumComponents); c++ {
 					total += e.comp[st][c]
@@ -174,10 +183,10 @@ func (sp *specState) squash() {
 func (sp *specState) flush(stages *[NumStages]stageAcct) {
 	sp.commit(^uint64(0)) // fold all remaining correct-path entries
 	sp.squash()           // and drop any dangling wrong-path ones
-	for st := 0; st < 2; st++ {
+	for st := Stage(0); st < NumStages; st++ {
 		for c := 0; c < int(NumComponents); c++ {
-			stages[Stage(st)].comp[c] += sp.committed[st][c]
+			stages[st].comp[c] += sp.committed[st][c]
 		}
 	}
-	sp.committed = [2][NumComponents]float64{}
+	sp.committed = [NumStages][NumComponents]float64{}
 }

@@ -8,6 +8,7 @@ import (
 
 func mkStack(st Stage, cycles int64, insts uint64, comps map[Component]float64) Stack {
 	s := Stack{Stage: st, Width: 4, Cycles: cycles, Instructions: insts}
+	//simlint:partial each key writes a distinct component slot; no order-dependent accumulation
 	for c, v := range comps {
 		s.Comp[c] = v
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"perfstacks/internal/invariant"
+)
 
 // StructuralCause buckets the issue-stage structural stalls — the stalls the
 // paper notes "can also be separately measured in the issue CPI stack" and
@@ -71,6 +75,7 @@ type StructuralAccountant struct {
 	width float64
 	carry float64
 	stack StructuralStack
+	dbg   debugTick
 }
 
 // NewStructuralAccountant builds an accountant for normalization width w.
@@ -83,6 +88,12 @@ func NewStructuralAccountant(w int) *StructuralAccountant {
 
 // Cycle consumes one sample.
 func (a *StructuralAccountant) Cycle(s *CycleSample) {
+	if invariant.Enabled {
+		debugCheckSample(s)
+		if a.dbg.due(a.stack.Cycles) {
+			a.debugConserve()
+		}
+	}
 	if s.Repeat > 1 {
 		a.cycleIdle(s)
 		return
@@ -136,4 +147,9 @@ func (a *StructuralAccountant) cycleIdle(s *CycleSample) {
 }
 
 // Finalize returns the measured breakdown.
-func (a *StructuralAccountant) Finalize() StructuralStack { return a.stack }
+func (a *StructuralAccountant) Finalize() StructuralStack {
+	if invariant.Enabled {
+		a.debugConserve()
+	}
+	return a.stack
+}

@@ -542,7 +542,8 @@ func (c *Core) portFree(ports *portsInUse, op trace.Op) bool {
 			return false
 		}
 		ports.load++
-	default: // ALU, branches, nops, barriers
+	case trace.OpNop, trace.OpALU, trace.OpBranch, trace.OpCall, trace.OpRet,
+		trace.OpBarrier:
 		if ports.alu >= c.p.IntALUs {
 			return false
 		}
@@ -585,6 +586,7 @@ func older(a, b uint64) bool {
 func (c *Core) execute(s *core.CycleSample, e *robEntry) {
 	var doneAt int64
 	var miss bool
+	//simlint:partial only memory ops touch the hierarchy; every other op completes after its precomputed latency
 	switch e.u.Op {
 	case trace.OpLoad:
 		var depth int

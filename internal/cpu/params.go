@@ -189,6 +189,10 @@ func (p *Params) latency(op trace.Op) int64 {
 		return p.Lat.Store
 	case trace.OpBarrier:
 		return 1
+	case trace.OpLoad:
+		// Load latency comes from the cache hierarchy at execute time; the
+		// static table charges the single issue cycle.
+		return 1
 	default:
 		return 1
 	}

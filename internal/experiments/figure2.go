@@ -51,6 +51,7 @@ type Figure2Result struct {
 
 // idealizeFor maps a component to the idealization that removes it.
 func idealizeFor(c core.Component) config.Idealize {
+	//simlint:partial only the four components Figure 2 idealizes have a machine knob; the rest map to the identity config
 	switch c {
 	case core.CompICache:
 		return config.Idealize{PerfectICache: true}

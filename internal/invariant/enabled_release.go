@@ -1,0 +1,8 @@
+//go:build !simdebug
+
+package invariant
+
+// Enabled reports whether runtime invariant checking is compiled in. In a
+// normal build it is the constant false, so `if invariant.Enabled { ... }`
+// blocks are removed by the compiler.
+const Enabled = false

@@ -1,0 +1,6 @@
+//go:build simdebug
+
+package invariant
+
+// Enabled reports whether runtime invariant checking is compiled in.
+const Enabled = true

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+// perturbProfile derives a random-but-valid workload from a named SPEC-like
+// profile: the rng reshapes footprints, branch behavior, access-pattern mix
+// and dependence structure within the generator's domain, so each case
+// stresses a different corner of the accounting (frontend-bound, memory-bound,
+// chain-bound) without hand-writing profiles.
+func perturbProfile(base workload.Profile, r *rand.Rand) workload.Profile {
+	p := base
+	p.Seed = r.Uint64()
+	scale := func(v int) int {
+		s := int(float64(v) * (0.5 + r.Float64()*1.5))
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	frac := func() float64 { return r.Float64() }
+	p.CodeFootprint = scale(base.CodeFootprint)
+	p.DataFootprint = scale(base.DataFootprint)
+	p.BranchEntropy = frac()
+	p.CodeSkew = frac()
+	p.ChainBias = frac()
+	p.ChainOnLong = frac()
+	// Keep the load-kind partition valid: StreamFrac + ChaseFrac <= 1.
+	p.StreamFrac = frac()
+	p.ChaseFrac = (1 - p.StreamFrac) * frac()
+	if r.Intn(2) == 0 {
+		p.StreamStride = 8
+	} else {
+		p.StreamStride = 64
+	}
+	p.InnerTrip = scale(base.InnerTrip)
+	return p
+}
+
+// checkConserved asserts Σ components ≈ cycles with a relative tolerance.
+func checkConserved(t *testing.T, label string, sum float64, cycles int64) {
+	t.Helper()
+	if math.Abs(sum-float64(cycles)) > 1e-6*(float64(cycles)+1) {
+		t.Errorf("%s: components sum to %v, want %d cycles (diff %g)",
+			label, sum, cycles, sum-float64(cycles))
+	}
+}
+
+// TestConservationProperty is the randomized conservation property: for
+// random workloads, every wrong-path scheme, and skipping on or off, the
+// multi-stage stacks, the fetch stack and the FLOPS stack each decompose the
+// cycle count exactly. Under -tags simdebug the same runs additionally
+// exercise the accountants' internal invariant checks (per-sample
+// well-formedness and periodic mid-run conservation, including the
+// speculative scheme's in-flight buffers).
+func TestConservationProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(20260806))
+	bases := []string{"mcf", "imagick", "deepsjeng"}
+	schemes := []core.WrongPathScheme{
+		core.WrongPathOracle, core.WrongPathSimple, core.WrongPathSpeculative,
+	}
+	m := config.BDW()
+	const uops = 12_000
+
+	for i := 0; i < 6; i++ {
+		base, ok := workload.SPECProfile(bases[i%len(bases)])
+		if !ok {
+			t.Fatalf("unknown base profile %q", bases[i%len(bases)])
+		}
+		p := perturbProfile(base, r)
+		for _, scheme := range schemes {
+			for _, noSkip := range []bool{false, true} {
+				label := p.Name + "/" + scheme.String()
+				if noSkip {
+					label += "/noskip"
+				}
+				opts := Options{
+					CPI: true, FLOPS: true, Fetch: true,
+					MemDepth: true, Structural: true,
+					Scheme: scheme, NoSkip: noSkip,
+				}
+				res := Run(m, trace.NewLimit(workload.NewGenerator(p), uops), opts)
+				for _, st := range core.Stages() {
+					s := res.Stacks.Stack(st)
+					checkConserved(t, label+"/"+st.String(), s.Sum(), s.Cycles)
+				}
+				checkConserved(t, label+"/fetch", res.Fetch.Sum(), res.Fetch.Cycles)
+				checkConserved(t, label+"/flops", res.FLOPS.Sum(), res.FLOPS.Cycles)
+				// The side stacks decompose only their share of the stalls.
+				if tot := res.MemDepth.CommitTotal(); tot > float64(res.Stats.Cycles)+1e-6 {
+					t.Errorf("%s: memdepth commit total %v exceeds cycles %d", label, tot, res.Stats.Cycles)
+				}
+				if tot := res.Structural.Total(); tot > float64(res.Stats.Cycles)+1e-6 {
+					t.Errorf("%s: structural total %v exceeds cycles %d", label, tot, res.Stats.Cycles)
+				}
+			}
+		}
+	}
+}

@@ -44,6 +44,7 @@ func TestGemmSKXFMAsConsumeBroadcast(t *testing.T) {
 	var lastBcast uint64
 	checked := 0
 	for _, u := range uops {
+		//simlint:partial the test tracks only broadcasts and the FMAs that consume them
 		switch u.Op {
 		case trace.OpBroadcast:
 			lastBcast = u.Seq
@@ -177,6 +178,7 @@ func TestConvProducersValid(t *testing.T) {
 func TestConvPhasesDiffer(t *testing.T) {
 	mix := func(phase ConvPhase) (vint, fma int) {
 		for _, u := range take(NewConv(StyleSKX, ConvTrain()[6], phase, 16, 1, 0), 20000) {
+			//simlint:partial the test counts only the shuffle/FMA mix
 			switch u.Op {
 			case trace.OpVInt:
 				vint++
@@ -197,6 +199,7 @@ func TestConvHasScalarOverheadAndFMAs(t *testing.T) {
 	uops := take(NewConv(StyleKNL, ConvTrain()[6], ConvFwd, 16, 1, 0), 20000)
 	var alus, fmas, loads int
 	for _, u := range uops {
+		//simlint:partial the test counts only the scalar/FMA/load mix
 		switch u.Op {
 		case trace.OpALU:
 			alus++
