@@ -7,6 +7,7 @@
 package perfstacks
 
 import (
+	"fmt"
 	"testing"
 
 	"perfstacks/internal/bpred"
@@ -200,6 +201,76 @@ func BenchmarkSPECGenerator(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		g.Next()
 	}
+}
+
+// BenchmarkTraceGeneration compares the scalar and batched generator paths
+// head to head: per-uop Next dispatch vs bulk ReadBatch into a reusable
+// buffer (the frontend's ingestion pattern). The streams are bit-identical
+// (see workload.TestGeneratorBatchScalarEquivalence); the gap is pure
+// per-call overhead.
+func BenchmarkTraceGeneration(b *testing.B) {
+	prof, _ := workload.SPECProfile("mcf")
+	b.Run("scalar", func(b *testing.B) {
+		g := workload.NewGenerator(prof)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Next()
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		g := workload.NewGenerator(prof)
+		buf := make([]trace.Uop, 256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			done += g.ReadBatch(buf)
+		}
+	})
+}
+
+// BenchmarkBatchIngest measures the full batched ingestion stack as the
+// simulator consumes it — generator under Limit under ReadBatch — for the
+// batch sizes of interest, plus the generic scalar-to-batch adapter as the
+// degenerate baseline.
+func BenchmarkBatchIngest(b *testing.B) {
+	prof, _ := workload.SPECProfile("mcf")
+	for _, bs := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			tr := trace.NewLimit(workload.NewGenerator(prof), uint64(b.N))
+			buf := make([]trace.Uop, bs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				n := tr.ReadBatch(buf)
+				if n == 0 {
+					break
+				}
+				done += n
+			}
+			if done != b.N {
+				b.Fatalf("ingested %d of %d uops", done, b.N)
+			}
+		})
+	}
+	b.Run("scalar-adapter", func(b *testing.B) {
+		// Force the generic AsBatch shim by hiding the generator's ReadBatch.
+		tr := trace.AsBatch(struct{ trace.Reader }{
+			trace.NewLimit(workload.NewGenerator(prof), uint64(b.N)),
+		})
+		buf := make([]trace.Uop, 256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		done := 0
+		for done < b.N {
+			n := tr.ReadBatch(buf)
+			if n == 0 {
+				break
+			}
+			done += n
+		}
+	})
 }
 
 func BenchmarkGemmGenerator(b *testing.B) {

@@ -18,9 +18,9 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"time"
 
 	"perfstacks/internal/experiments"
+	"perfstacks/internal/runner"
 )
 
 func main() {
@@ -29,6 +29,7 @@ func main() {
 	warmup := flag.Uint64("warmup", 0, "warm-up uops per simulation (0 = default)")
 	quick := flag.Bool("quick", false, "use the reduced test sizing")
 	par := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	benchJSON := flag.String("benchjson", "", "write per-experiment wall-time stats as JSON to this file (- for stderr)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -96,9 +97,31 @@ func main() {
 		names = []string{*run}
 	}
 
-	for _, name := range names {
-		start := time.Now()
-		out := all[name]()
-		fmt.Printf("===== %s (%.1fs) =====\n%s\n", name, time.Since(start).Seconds(), out)
+	// Experiments run sequentially through the shared scheduler (each one
+	// parallelizes its simulations internally via spec.Parallelism); the
+	// timed report carries per-experiment wall time for -benchjson.
+	outputs := make([]string, len(names))
+	report := runner.RunTimed(1, len(names), func(i int) (string, uint64) {
+		outputs[i] = all[names[i]]()
+		return names[i], 0
+	})
+	for i, name := range names {
+		fmt.Printf("===== %s (%.1fs) =====\n%s\n", name, report.Jobs[i].WallSeconds, outputs[i])
+	}
+	if *benchJSON != "" {
+		out := os.Stderr
+		if *benchJSON != "-" {
+			f, err := os.Create(*benchJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,13 +1,14 @@
-// Command simlint is the repo's invariant multichecker. It bundles the four
-// analyzers of internal/analyzers (enumexhaustive, repeataware, determinism,
-// acctencapsulation) behind the two driver modes of internal/analysis:
+// Command simlint is the repo's invariant multichecker. It bundles the five
+// analyzers of internal/analyzers (enumexhaustive, repeataware, batchingest,
+// determinism, acctencapsulation) behind the two driver modes of
+// internal/analysis:
 //
 //	simlint ./...                           standalone, over go list patterns
 //	go vet -vettool=$(pwd)/simlint ./...    as a vet tool (analyzes tests too)
 //
 // Exit status: 0 clean, 1 driver error, 2 findings. Findings are suppressed
 // by a `//simlint:partial <reason>` annotation on the offending line or the
-// line above it; see DESIGN.md §7 for the invariant catalogue.
+// line above it; see DESIGN.md §8 for the invariant catalogue.
 package main
 
 import (

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	sweep -machines BDW,KNL -uops 300000 -warmup 200000 > stacks.csv
+//	sweep -benchjson bench.json > stacks.csv   # also write run stats as JSON
 package main
 
 import (
@@ -14,10 +15,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 
 	"perfstacks/internal/config"
 	"perfstacks/internal/export"
+	"perfstacks/internal/runner"
 	"perfstacks/internal/sim"
 	"perfstacks/internal/trace"
 	"perfstacks/internal/workload"
@@ -28,6 +29,7 @@ func main() {
 	uops := flag.Uint64("uops", 300_000, "measured uops per run")
 	warm := flag.Uint64("warmup", 200_000, "warm-up uops per run")
 	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations")
+	benchJSON := flag.String("benchjson", "", "write per-run wall-time/throughput stats as JSON to this file (- for stderr)")
 	flag.Parse()
 
 	var ms []config.Machine
@@ -52,39 +54,38 @@ func main() {
 	}
 
 	rows := make([]export.LabeledStacks, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxInt(1, *par))
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			j := jobs[i]
-			opts := sim.Default()
-			opts.WarmupUops = *warm
-			res := sim.Run(j.m, trace.NewLimit(workload.NewGenerator(j.prof), *warm+*uops), opts)
-			rows[i] = export.LabeledStacks{
-				Workload: j.prof.Name,
-				Machine:  j.m.Name,
-				Stacks:   res.Stacks,
-			}
-		}(i)
-	}
-	wg.Wait()
+	report := runner.RunTimed(max(1, *par), len(jobs), func(i int) (string, uint64) {
+		j := jobs[i]
+		opts := sim.Default()
+		opts.WarmupUops = *warm
+		res := sim.Run(j.m, trace.NewLimit(workload.NewGenerator(j.prof), *warm+*uops), opts)
+		rows[i] = export.LabeledStacks{
+			Workload: j.prof.Name,
+			Machine:  j.m.Name,
+			Stacks:   res.Stacks,
+		}
+		return j.prof.Name + "/" + j.m.Name, *warm + *uops
+	})
 
 	if err := export.StacksToCSV(os.Stdout, rows); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "sweep: %d runs (%d workloads x %d machines)\n",
-		len(jobs), len(profs), len(ms))
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+	if *benchJSON != "" {
+		out := os.Stderr
+		if *benchJSON != "-" {
+			f, err := os.Create(*benchJSON)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.WriteJSON(out); err != nil {
+			fatal(err)
+		}
 	}
-	return b
+	fmt.Fprintf(os.Stderr, "sweep: %d runs (%d workloads x %d machines) in %.1fs, %.0f uops/s aggregate\n",
+		len(jobs), len(profs), len(ms), report.WallSeconds, report.UopsPerSec)
 }
 
 func fatal(err error) {

@@ -1,18 +1,21 @@
-// Package analyzers holds the simlint suite: four static-analysis passes
+// Package analyzers holds the simlint suite: five static-analysis passes
 // that machine-check the accounting core's structural invariants — the
-// conventions that make every CPI/FLOPS stack sum exactly to total cycles.
+// conventions that make every CPI/FLOPS stack sum exactly to total cycles —
+// and the simulator's hot-path performance contracts.
 //
 //   - enumexhaustive: switches over accounting enums cover every value (or
 //     carry a //simlint:partial annotation) and fixed arrays indexed by such
 //     enums are sized by their Num* sentinel.
 //   - repeataware: every Cycle(*core.CycleSample) accountant handles batched
 //     Repeat samples instead of silently treating them as one cycle.
+//   - batchingest: internal/cpu pulls trace uops through
+//     BatchReader.ReadBatch, never per-uop Reader.Next.
 //   - determinism: no wall-clock time, global math/rand, or map-iteration
 //     accumulation inside the simulation packages.
 //   - acctencapsulation: stack accumulator fields are written only from
 //     their accountant's own file set.
 //
-// DESIGN.md §7 lists the enforced invariants; cmd/simlint is the
+// DESIGN.md §8 lists the enforced invariants; cmd/simlint is the
 // multichecker binary that runs the suite (standalone or as a
 // `go vet -vettool`).
 package analyzers
@@ -30,6 +33,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		EnumExhaustive,
 		RepeatAware,
+		BatchIngest,
 		Determinism,
 		AcctEncapsulation,
 	}

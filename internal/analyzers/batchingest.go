@@ -1,0 +1,72 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"perfstacks/internal/analysis"
+)
+
+// BatchIngest enforces the batched-ingestion contract introduced with the
+// BatchReader pipeline: inside internal/cpu — the per-cycle hot path — trace
+// uops must be pulled through BatchReader.ReadBatch into a dense buffer (the
+// frontend's peek/consume pattern), never one at a time through
+// trace.Reader.Next. A scalar Next call re-introduces an interface dispatch
+// per uop and silently undoes the amortization the batch path exists for.
+// Deliberate scalar reads (cold paths, drain loops) are acknowledged with a
+// reasoned //simlint:partial annotation.
+var BatchIngest = &analysis.Analyzer{
+	Name: "batchingest",
+	Doc:  "internal/cpu must ingest trace uops via BatchReader.ReadBatch, not per-uop Next",
+	Run:  runBatchIngest,
+}
+
+func runBatchIngest(pass *analysis.Pass) (interface{}, error) {
+	if !pkgSuffix(pass.Pkg.Path(), "internal/cpu") {
+		return nil, nil
+	}
+	ann := gatherAnnotations(pass)
+	walkFiles(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Next" || len(call.Args) != 0 {
+			return true
+		}
+		if isTestFile(pass.Fset, call.Pos()) {
+			return true
+		}
+		if !isUopNextCall(pass, call) {
+			return true
+		}
+		if ann.suppressed(pass, call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "scalar trace ingestion on the cpu hot path: %s.Next() reads one uop per interface call; batch through trace.BatchReader.ReadBatch instead",
+			types.TypeString(pass.TypesInfo.Types[sel.X].Type, types.RelativeTo(pass.Pkg)))
+		return true
+	})
+	return nil, nil
+}
+
+// isUopNextCall reports whether call is a method call shaped like
+// trace.Reader.Next: no parameters, results (trace.Uop, bool). Matching on
+// the signature (rather than the static receiver type) catches every Reader
+// implementation and the BatchReader interface's embedded Next alike.
+func isUopNextCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 2 {
+		return false
+	}
+	if basic, ok := sig.Results().At(1).Type().(*types.Basic); !ok || basic.Kind() != types.Bool {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Uop" && obj.Pkg() != nil && pkgSuffix(obj.Pkg().Path(), "internal/trace")
+}

@@ -1,0 +1,151 @@
+package analyzers
+
+import (
+	"testing"
+
+	"perfstacks/internal/analysis/analysistest"
+)
+
+func TestBatchIngest(t *testing.T) {
+	tracePkg := analysistest.Package{
+		Path: "example.com/fake/internal/trace",
+		Files: map[string]string{
+			"trace.go": `package trace
+
+type Uop struct {
+	Seq uint64
+	PC  uint64
+}
+
+type Reader interface {
+	Next() (Uop, bool)
+}
+
+type BatchReader interface {
+	Reader
+	ReadBatch(dst []Uop) int
+}
+
+type Slice struct {
+	Uops []Uop
+	pos  int
+}
+
+func (s *Slice) Next() (Uop, bool) {
+	if s.pos >= len(s.Uops) {
+		return Uop{}, false
+	}
+	u := s.Uops[s.pos]
+	s.pos++
+	return u, true
+}
+
+func (s *Slice) ReadBatch(dst []Uop) int {
+	n := copy(dst, s.Uops[s.pos:])
+	s.pos += n
+	return n
+}
+`,
+		},
+	}
+	cpuPkg := analysistest.Package{
+		Path: "example.com/fake/internal/cpu",
+		Files: map[string]string{
+			"frontend.go": `package cpu
+
+import "example.com/fake/internal/trace"
+
+// good pulls uops in bulk.
+type good struct {
+	br  trace.BatchReader
+	buf []trace.Uop
+}
+
+func (g *good) refill() int {
+	return g.br.ReadBatch(g.buf)
+}
+
+// badIface reads one uop per interface call.
+type badIface struct {
+	r trace.Reader
+}
+
+func (b *badIface) fetch() (trace.Uop, bool) {
+	return b.r.Next() // want "scalar trace ingestion on the cpu hot path"
+}
+
+// badConcrete: the rule is keyed on the Next signature, so concrete
+// readers are caught too.
+type badConcrete struct {
+	s *trace.Slice
+}
+
+func (b *badConcrete) fetch() (trace.Uop, bool) {
+	return b.s.Next() // want "scalar trace ingestion on the cpu hot path"
+}
+
+// badBatch: even a BatchReader misused scalar-style is flagged.
+func scalarFromBatch(br trace.BatchReader) (trace.Uop, bool) {
+	return br.Next() // want "scalar trace ingestion on the cpu hot path"
+}
+
+// annotated is a deliberate cold-path scalar read.
+func drainTail(r trace.Reader) int {
+	n := 0
+	for {
+		//simlint:partial end-of-run drain, executes once per simulation
+		_, ok := r.Next()
+		if !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// otherNext has the right name but the wrong shape: not a trace read.
+type cursor struct{ i int }
+
+func (c *cursor) Next() (int, bool) { c.i++; return c.i, true }
+
+func advance(c *cursor) (int, bool) { return c.Next() }
+`,
+			"frontend_test.go": `package cpu
+
+import "example.com/fake/internal/trace"
+
+// Test files may read scalar: equivalence tests compare both paths.
+func drainForTest(r trace.Reader) []trace.Uop {
+	var out []trace.Uop
+	for {
+		u, ok := r.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, u)
+	}
+}
+`,
+		},
+	}
+	simPkg := analysistest.Package{
+		Path: "example.com/fake/internal/sim",
+		Files: map[string]string{
+			"sim.go": `package sim
+
+import "example.com/fake/internal/trace"
+
+// Outside internal/cpu the scalar path is fine (setup, warm-up, tools).
+func count(r trace.Reader) int {
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+`,
+		},
+	}
+	analysistest.Run(t, BatchIngest, tracePkg, cpuPkg, simPkg)
+}

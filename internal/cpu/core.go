@@ -403,12 +403,19 @@ func (c *Core) issue(s *core.CycleSample) {
 			continue
 		}
 
-		readyAt, ok := c.srcReady(e)
-		if !ok || readyAt > c.now {
+		readyAt, allIssued, blamed := c.srcScan(e)
+		if !allIssued || readyAt > c.now {
 			// Not ready: record the first non-ready entry's producer class
 			// (Table II issue column) and the oldest waiting VFP uop
 			// (Table III).
-			cls, isLoad, depth := c.blamedProducer(e)
+			var cls core.ProdClass
+			var isLoad bool
+			var depth uint8
+			if blamed != trace.NoProducer {
+				cls, isLoad, depth = c.sb.producerClassDepth(blamed)
+			} else {
+				cls = core.ProdDepend
+			}
 			if !foundNonReady {
 				foundNonReady = true
 				s.FirstNonReadyClass = cls
@@ -465,38 +472,40 @@ func (c *Core) noteWaiting(s *core.CycleSample, e *robEntry, oldestSeen *bool, c
 	s.OldestVFPWaitsLoad = producerIsLoad
 }
 
-// srcReady returns the cycle all source operands are available; ok=false
-// when some producer has not yet issued.
-func (c *Core) srcReady(e *robEntry) (int64, bool) {
-	var latest int64
+// srcScan walks e's source operands once, fusing the two passes the issue
+// loop used to make (readiness check, then blame assignment). It returns
+// the latest ready time over issued producers, whether every producer has
+// issued, and the first source that is not available this cycle — the
+// blamed producer of Table II's issue column (trace.NoProducer when all
+// sources are available). The blame rule is identical to the old
+// blamedProducer: first operand, in order, with an unissued or
+// still-executing producer.
+func (c *Core) srcScan(e *robEntry) (latest int64, allIssued bool, blamed uint64) {
+	blamed = trace.NoProducer
+	allIssued = true
 	for _, src := range e.u.Src {
 		if src == trace.NoProducer {
 			continue
 		}
 		t, ok := c.sb.readyAt(src)
 		if !ok {
-			return 0, false
+			// An unissued producer makes the entry non-ready regardless of
+			// the remaining operands, and blame (first non-available source)
+			// is already decided, so the scan can stop here.
+			allIssued = false
+			if blamed == trace.NoProducer {
+				blamed = src
+			}
+			return
 		}
 		if t > latest {
 			latest = t
 		}
-	}
-	return latest, true
-}
-
-// blamedProducer finds the producer to blame for e not being ready: the
-// first source operand that is not available this cycle.
-func (c *Core) blamedProducer(e *robEntry) (core.ProdClass, bool, uint8) {
-	for _, src := range e.u.Src {
-		if src == trace.NoProducer {
-			continue
-		}
-		t, ok := c.sb.readyAt(src)
-		if !ok || t > c.now {
-			return c.sb.producerClassDepth(src)
+		if t > c.now && blamed == trace.NoProducer {
+			blamed = src
 		}
 	}
-	return core.ProdDepend, false, 0
+	return
 }
 
 // portFree checks and claims a functional-unit port for op.
@@ -663,13 +672,13 @@ func (c *Core) dispatch(s *core.CycleSample) {
 			s.FEEmpty = true
 			break
 		}
-		u := fe.u
-		e := robEntry{
-			u:          u,
+		u := &fe.u
+		slot, e := c.rob.pushSlot()
+		*e = robEntry{
+			u:          *u,
 			lat:        c.p.latency(u.Op),
 			mispredict: fe.mispredict,
 		}
-		slot := c.rob.push(e)
 		c.sb.allocate(u.Seq, u.Op == trace.OpLoad)
 		c.rs = append(c.rs, slot)
 		if c.p.MemDisambiguation && u.Op == trace.OpStore {

@@ -13,24 +13,39 @@ type feEntry struct {
 	mispredict bool
 }
 
+// feBatch is the trace ingestion batch size: how many uops the frontend
+// pulls per BatchReader refill. One interface call per feBatch uops replaces
+// the per-uop Next dispatch of the scalar path.
+const feBatch = 256
+
 // frontend models fetch, branch prediction and decode. It fills a decoded
 // uop queue each cycle; dispatch drains it. The frontend exposes the cause
 // it is currently blocked on (I-cache miss, branch redirect, microcode
 // decode, trace drained) so the accountants can attribute frontend stalls
 // per Table II.
+//
+// Trace ingestion is batched: the frontend pulls uops through
+// trace.BatchReader.ReadBatch into an internal refillable buffer and fetch
+// peeks/consumes dense slice entries, so the per-cycle hot path makes no
+// interface calls on the trace. Scalar readers are adapted transparently
+// (trace.AsBatch); the delivered stream is identical either way.
 type frontend struct {
 	p    *Params
-	tr   trace.Reader
+	br   trace.BatchReader
 	hier *cache.Hierarchy
 	pred bpred.Predictor
 
-	queue []feEntry
+	queue []feEntry // decoded-uop ring; len(queue) is a power of two
+	qCap  int       // logical capacity (Params.FEQueueSize)
+	qMask int
 	qHead int
 	qLen  int
 
-	pendingUop trace.Uop
-	hasPending bool
-	drained    bool
+	// Ingestion buffer: buf[bufPos:bufLen] holds uops read ahead of fetch.
+	buf     []trace.Uop
+	bufPos  int
+	bufLen  int
+	drained bool
 
 	curLine    uint64
 	haveLine   bool
@@ -49,31 +64,40 @@ type frontend struct {
 }
 
 func newFrontend(p *Params, tr trace.Reader, hier *cache.Hierarchy, pred bpred.Predictor) *frontend {
+	qSize := 1
+	for qSize < p.FEQueueSize {
+		qSize <<= 1
+	}
 	return &frontend{
 		p:     p,
-		tr:    tr,
+		br:    trace.AsBatch(tr),
 		hier:  hier,
 		pred:  pred,
-		queue: make([]feEntry, p.FEQueueSize),
+		queue: make([]feEntry, qSize),
+		qCap:  p.FEQueueSize,
+		qMask: qSize - 1,
+		buf:   make([]trace.Uop, feBatch),
 		wpRNG: 0x9e3779b97f4a7c15,
 	}
 }
 
 func (f *frontend) queueEmpty() bool { return f.qLen == 0 }
-func (f *frontend) queueFull() bool  { return f.qLen == len(f.queue) }
+func (f *frontend) queueFull() bool  { return f.qLen == f.qCap }
 
 func (f *frontend) push(e feEntry) {
-	f.queue[(f.qHead+f.qLen)%len(f.queue)] = e
+	f.queue[(f.qHead+f.qLen)&f.qMask] = e
 	f.qLen++
 }
 
-// pop removes the next decoded uop; ok=false when the queue is empty.
-func (f *frontend) pop() (feEntry, bool) {
+// pop removes the next decoded uop; ok=false when the queue is empty. The
+// returned pointer aliases the ring slot: it stays valid until the next
+// push (dispatch drains the queue strictly before fetch refills it).
+func (f *frontend) pop() (*feEntry, bool) {
 	if f.qLen == 0 {
-		return feEntry{}, false
+		return nil, false
 	}
-	e := f.queue[f.qHead]
-	f.qHead = (f.qHead + 1) % len(f.queue)
+	e := &f.queue[f.qHead]
+	f.qHead = (f.qHead + 1) & f.qMask
 	f.qLen--
 	return e, true
 }
@@ -86,29 +110,33 @@ func (f *frontend) cause() core.FECause {
 	if f.stallCause != core.FENone {
 		return f.stallCause
 	}
-	if f.drained && !f.hasPending {
+	if f.drained && f.bufPos == f.bufLen {
 		return core.FEDrained
 	}
 	return core.FENone
 }
 
-// next peeks the next correct-path trace uop.
-func (f *frontend) next() (trace.Uop, bool) {
-	if f.hasPending {
-		return f.pendingUop, true
+// peek returns the next correct-path trace uop without consuming it,
+// refilling the ingestion buffer in bulk when it runs dry. The pointer
+// aliases the buffer and stays valid until the uop is consumed.
+func (f *frontend) peek() (*trace.Uop, bool) {
+	if f.bufPos < f.bufLen {
+		return &f.buf[f.bufPos], true
 	}
 	if f.drained {
-		return trace.Uop{}, false
+		return nil, false
 	}
-	u, ok := f.tr.Next()
-	if !ok {
+	n := f.br.ReadBatch(f.buf)
+	if n == 0 {
 		f.drained = true
-		return trace.Uop{}, false
+		return nil, false
 	}
-	f.pendingUop = u
-	f.hasPending = true
-	return u, true
+	f.bufPos, f.bufLen = 0, n
+	return &f.buf[0], true
 }
+
+// consume advances past the uop peek returned.
+func (f *frontend) consume() { f.bufPos++ }
 
 // fill runs one fetch/decode cycle, appending up to FetchWidth uops to the
 // decoded queue. It returns the number of correct-path uops fetched and
@@ -130,7 +158,7 @@ func (f *frontend) fill(now int64) (fetched int, queueFull bool) {
 		if f.queueFull() {
 			return fetched, true
 		}
-		u, ok := f.next()
+		u, ok := f.peek()
 		if !ok {
 			return fetched, false
 		}
@@ -142,8 +170,8 @@ func (f *frontend) fill(now int64) (fetched int, queueFull bool) {
 			f.curLine = line
 			f.haveLine = true
 			if missed && doneAt > now+1 {
-				// Stall fetch until the line arrives. The uop stays pending
-				// and is delivered when fetch resumes.
+				// Stall fetch until the line arrives. The uop stays in the
+				// ingestion buffer and is delivered when fetch resumes.
 				f.stallUntil = doneAt
 				f.stallCause = core.FEICache
 				f.icacheStalls += doneAt - now
@@ -155,19 +183,19 @@ func (f *frontend) fill(now int64) (fetched int, queueFull bool) {
 		if u.MicrocodeCycles > 0 {
 			f.stallUntil = now + int64(u.MicrocodeCycles)
 			f.stallCause = core.FEMicrocode
-			f.hasPending = false
-			f.push(feEntry{u: u})
+			f.push(feEntry{u: *u})
+			f.consume()
 			return fetched + 1, false
 		}
 
 		// Branch prediction.
 		misp := false
 		if u.Op.IsBranch() && !f.p.PerfectBpred {
-			out := f.pred.Lookup(&u)
+			out := f.pred.Lookup(u)
 			misp = out.Mispredicted
 		}
-		f.hasPending = false
-		f.push(feEntry{u: u, mispredict: misp})
+		f.push(feEntry{u: *u, mispredict: misp})
+		f.consume()
 		fetched++
 		if misp {
 			// Fetch goes down the wrong path until the branch resolves.
@@ -228,11 +256,11 @@ func (f *frontend) resolve(now int64) {
 func (f *frontend) squashQueue() {
 	kept := 0
 	for i := 0; i < f.qLen; i++ {
-		e := f.queue[(f.qHead+i)%len(f.queue)]
+		e := f.queue[(f.qHead+i)&f.qMask]
 		if e.u.WrongPath {
 			continue
 		}
-		f.queue[(f.qHead+kept)%len(f.queue)] = e
+		f.queue[(f.qHead+kept)&f.qMask] = e
 		kept++
 	}
 	f.qLen = kept
@@ -240,5 +268,5 @@ func (f *frontend) squashQueue() {
 
 // exhausted reports whether no more correct-path uops will ever arrive.
 func (f *frontend) exhausted() bool {
-	return f.drained && !f.hasPending && f.qLen == 0
+	return f.drained && f.bufPos == f.bufLen && f.qLen == 0
 }

@@ -22,25 +22,44 @@ type robEntry struct {
 
 func (e *robEntry) doneBy(now int64) bool { return e.issued && e.doneAt <= now }
 
-// rob is a ring-buffer reorder buffer.
+// rob is a ring-buffer reorder buffer. The ring is sized to the next power
+// of two above the architectural capacity so the per-uop slot arithmetic is
+// a mask instead of an integer division (ROB sizes like 224 are not powers
+// of two, and the modulo showed up hot in profiles).
 type rob struct {
 	entries []robEntry
+	mask    int // len(entries) - 1
+	cap     int // architectural capacity (<= len(entries))
 	head    int
 	count   int
 }
 
-func newROB(size int) *rob { return &rob{entries: make([]robEntry, size)} }
+func newROB(size int) *rob {
+	ring := 1
+	for ring < size {
+		ring <<= 1
+	}
+	return &rob{entries: make([]robEntry, ring), mask: ring - 1, cap: size}
+}
 
-func (r *rob) full() bool  { return r.count == len(r.entries) }
+func (r *rob) full() bool  { return r.count == r.cap }
 func (r *rob) empty() bool { return r.count == 0 }
 func (r *rob) len() int    { return r.count }
 
 // push allocates the tail entry and returns its slot index.
 func (r *rob) push(e robEntry) int {
-	slot := (r.head + r.count) % len(r.entries)
-	r.entries[slot] = e
-	r.count++
+	slot, p := r.pushSlot()
+	*p = e
 	return slot
+}
+
+// pushSlot allocates the tail entry and returns its slot index and pointer,
+// letting the dispatch stage initialize the entry in place instead of
+// copying a robEntry through push's parameter.
+func (r *rob) pushSlot() (int, *robEntry) {
+	slot := (r.head + r.count) & r.mask
+	r.count++
+	return slot, &r.entries[slot]
 }
 
 // headEntry returns the oldest in-flight entry (nil when empty).
@@ -53,7 +72,7 @@ func (r *rob) headEntry() *robEntry {
 
 // pop retires the head entry.
 func (r *rob) pop() {
-	r.head = (r.head + 1) % len(r.entries)
+	r.head = (r.head + 1) & r.mask
 	r.count--
 }
 
@@ -62,7 +81,7 @@ func (r *rob) pop() {
 func (r *rob) popTailWrongPath() int {
 	n := 0
 	for r.count > 0 {
-		slot := (r.head + r.count - 1) % len(r.entries)
+		slot := (r.head + r.count - 1) & r.mask
 		if !r.entries[slot].u.WrongPath {
 			break
 		}
@@ -114,26 +133,34 @@ type scoreEntry struct {
 
 // scoreboard tracks producer readiness by sequence number. Correct-path and
 // wrong-path uops have separate dense counter spaces; each space is a ring
-// sized to the in-flight window. Producers older than the in-flight window
-// have committed and are always ready.
+// sized to the next power of two above the in-flight window, so the per-seq
+// slot lookup is a mask rather than a division (slot() is the single
+// hottest call in the issue loop). Producers older than the in-flight
+// window have committed and are always ready.
 type scoreboard struct {
 	cp       []scoreEntry
 	wp       []scoreEntry
+	mask     uint64 // len(cp) - 1 == len(wp) - 1
 	oldestCP uint64 // sequence numbers below this have committed
 }
 
 func newScoreboard(window int) *scoreboard {
+	size := 1
+	for size < window {
+		size <<= 1
+	}
 	return &scoreboard{
-		cp: make([]scoreEntry, window),
-		wp: make([]scoreEntry, window),
+		cp:   make([]scoreEntry, size),
+		wp:   make([]scoreEntry, size),
+		mask: uint64(size - 1),
 	}
 }
 
 func (s *scoreboard) slot(seq uint64) *scoreEntry {
 	if seq&wpBit != 0 {
-		return &s.wp[(seq&^wpBit)%uint64(len(s.wp))]
+		return &s.wp[seq&s.mask]
 	}
-	return &s.cp[seq%uint64(len(s.cp))]
+	return &s.cp[seq&s.mask]
 }
 
 // allocate resets the producer record when a uop dispatches.

@@ -1,10 +1,8 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
-
 	"perfstacks/internal/config"
+	"perfstacks/internal/runner"
 	"perfstacks/internal/sim"
 	"perfstacks/internal/trace"
 	"perfstacks/internal/workload"
@@ -33,16 +31,7 @@ func QuickSpec() RunSpec {
 	return RunSpec{Uops: 60_000, Warmup: 40_000}
 }
 
-func (s RunSpec) workers() int {
-	if s.Parallelism > 0 {
-		return s.Parallelism
-	}
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
+func (s RunSpec) workers() int { return runner.Workers(s.Parallelism) }
 
 // runSPEC simulates a named SPEC-like profile on a machine (with optional
 // idealizations) under the spec's sizing.
@@ -58,34 +47,10 @@ func cpiOf(spec RunSpec, m config.Machine, prof workload.Profile) float64 {
 	return r.CPIOf()
 }
 
-// parallel runs n jobs across the spec's worker pool.
+// parallel runs n jobs across the spec's worker pool (the shared
+// internal/runner scheduler; results are index-ordered by construction).
 func parallel(spec RunSpec, n int, job func(i int)) {
-	workers := spec.workers()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			job(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				job(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	runner.Run(spec.workers(), n, job)
 }
 
 // mustProfile fetches a named profile or panics (experiment tables are

@@ -1,0 +1,115 @@
+// Package runner provides the shared bounded worker pool behind every
+// bulk-simulation front end (cmd/sweep, cmd/experiments, the experiment
+// library). Jobs are indexed 0..n-1 and write into caller-owned slots, so
+// results come back in deterministic index order no matter how the scheduler
+// interleaves them; the timed variant additionally records per-run wall time
+// and ingestion throughput for machine-readable benchmark output.
+package runner
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Workers clamps a requested pool size: zero or negative means GOMAXPROCS.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return max(1, runtime.GOMAXPROCS(0))
+}
+
+// Run executes job(0)..job(n-1) across a pool of at most workers goroutines.
+// Each job writes its own result slot, so the caller observes index-ordered
+// results regardless of scheduling. workers <= 1 (after clamping to n) runs
+// the jobs inline on the calling goroutine.
+func Run(workers, n int, job func(i int)) {
+	workers = min(Workers(workers), n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Stat records one timed job.
+type Stat struct {
+	// Label identifies the run (e.g. "mcf/BDW").
+	Label string `json:"label"`
+	// WallSeconds is the job's own wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Uops is the number of uops the job simulated (0 when not applicable).
+	Uops uint64 `json:"uops,omitempty"`
+	// UopsPerSec is Uops / WallSeconds (0 when Uops is 0).
+	UopsPerSec float64 `json:"uops_per_sec,omitempty"`
+}
+
+// Report aggregates a timed pool run for benchmark output.
+type Report struct {
+	// Workers is the pool size actually used.
+	Workers int `json:"workers"`
+	// WallSeconds is the whole pool's wall-clock time (not the sum of jobs).
+	WallSeconds float64 `json:"wall_seconds"`
+	// TotalUops sums the per-job uop counts.
+	TotalUops uint64 `json:"total_uops"`
+	// UopsPerSec is the aggregate throughput: TotalUops / WallSeconds.
+	UopsPerSec float64 `json:"uops_per_sec"`
+	// Jobs lists per-run stats in index order.
+	Jobs []Stat `json:"jobs"`
+}
+
+// RunTimed is Run with per-job instrumentation: job returns a label and the
+// number of uops it simulated, and the report carries wall time and
+// throughput per job and in aggregate, in index order.
+func RunTimed(workers, n int, job func(i int) (label string, uops uint64)) Report {
+	rep := Report{
+		Workers: min(Workers(workers), n),
+		Jobs:    make([]Stat, n),
+	}
+	start := time.Now()
+	Run(workers, n, func(i int) {
+		t0 := time.Now()
+		label, uops := job(i)
+		wall := time.Since(t0).Seconds()
+		s := Stat{Label: label, WallSeconds: wall, Uops: uops}
+		if uops > 0 && wall > 0 {
+			s.UopsPerSec = float64(uops) / wall
+		}
+		rep.Jobs[i] = s
+	})
+	rep.WallSeconds = time.Since(start).Seconds()
+	for _, s := range rep.Jobs {
+		rep.TotalUops += s.Uops
+	}
+	if rep.TotalUops > 0 && rep.WallSeconds > 0 {
+		rep.UopsPerSec = float64(rep.TotalUops) / rep.WallSeconds
+	}
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON, one trailing newline.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

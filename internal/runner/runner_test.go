@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			counts := make([]int32, n)
+			Run(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: job %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRunResultsAreIndexOrdered(t *testing.T) {
+	const n = 200
+	out := make([]int, n)
+	Run(8, n, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunSingleWorkerIsSequential(t *testing.T) {
+	var order []int
+	Run(1, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken at %d: got %v", i, order)
+		}
+	}
+}
+
+func TestRunTimedReport(t *testing.T) {
+	rep := RunTimed(4, 6, func(i int) (string, uint64) {
+		return fmt.Sprintf("job%d", i), uint64((i + 1) * 1000)
+	})
+	if rep.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", rep.Workers)
+	}
+	if len(rep.Jobs) != 6 {
+		t.Fatalf("len(Jobs) = %d, want 6", len(rep.Jobs))
+	}
+	var want uint64
+	for i, s := range rep.Jobs {
+		if s.Label != fmt.Sprintf("job%d", i) {
+			t.Errorf("job %d label = %q (report must be index-ordered)", i, s.Label)
+		}
+		if s.Uops != uint64((i+1)*1000) {
+			t.Errorf("job %d uops = %d", i, s.Uops)
+		}
+		want += s.Uops
+	}
+	if rep.TotalUops != want {
+		t.Errorf("TotalUops = %d, want %d", rep.TotalUops, want)
+	}
+	if rep.WallSeconds <= 0 {
+		t.Errorf("WallSeconds = %v, want > 0", rep.WallSeconds)
+	}
+	if rep.UopsPerSec <= 0 {
+		t.Errorf("UopsPerSec = %v, want > 0", rep.UopsPerSec)
+	}
+}
+
+func TestReportWriteJSON(t *testing.T) {
+	rep := RunTimed(2, 3, func(i int) (string, uint64) { return "w", 10 })
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if back.TotalUops != 30 || len(back.Jobs) != 3 {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Errorf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(0) < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", Workers(0))
+	}
+	if Workers(-5) < 1 {
+		t.Errorf("Workers(-5) = %d, want >= 1", Workers(-5))
+	}
+}

@@ -1,0 +1,311 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// makeUops builds a deterministic pseudo-random uop stream from a seed,
+// exercising every field the file format round-trips.
+func makeUops(seed uint64, n int) []Uop {
+	uops := make([]Uop, n)
+	s := seed
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range uops {
+		r := next()
+		u := &uops[i]
+		u.Seq = uint64(i)
+		u.PC = 0x400000 + (r&0xffff)*4
+		u.Op = Op(r % uint64(numOps))
+		u.Src = [3]uint64{NoProducer, NoProducer, NoProducer}
+		if i > 0 && r&1 == 0 {
+			u.Src[0] = uint64(i) - 1 - (r>>8)%min(uint64(i), 8)
+		}
+		if u.Op.IsMem() {
+			u.Addr = 0x10000000 + (r>>16)&0xfffff8
+		}
+		if u.Op.IsBranch() {
+			u.Taken = r&2 != 0
+			u.Target = 0x400000 + (r>>24&0xffff)*4
+		}
+		if u.Op.UsesVectorUnit() {
+			u.VecLanes = 8
+			u.MaskedLanes = uint8(r >> 40 & 3)
+		}
+		if r%97 == 0 {
+			u.MicrocodeCycles = uint8(1 + r>>48&7)
+		}
+	}
+	return uops
+}
+
+// scalarOnly hides a reader's ReadBatch so tests can exercise the generic
+// AsBatch adapter and the scalar fallback paths inside Limit and Counter.
+type scalarOnly struct{ r Reader }
+
+func (s scalarOnly) Next() (Uop, bool) { return s.r.Next() }
+
+// drainScalar reads r to exhaustion via Next.
+func drainScalar(r Reader) []Uop {
+	var out []Uop
+	for {
+		u, ok := r.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, u)
+	}
+}
+
+// drainBatch reads r to exhaustion via ReadBatch with a fixed batch size,
+// verifying the end-of-trace contract (0 only at the end, and sticky).
+func drainBatch(t *testing.T, r BatchReader, batch int) []Uop {
+	t.Helper()
+	var out []Uop
+	buf := make([]Uop, batch)
+	for {
+		n := r.ReadBatch(buf)
+		if n < 0 || n > batch {
+			t.Fatalf("ReadBatch returned %d for batch size %d", n, batch)
+		}
+		if n == 0 {
+			if again := r.ReadBatch(buf); again != 0 {
+				t.Fatalf("ReadBatch returned %d after reporting end of trace", again)
+			}
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+// compareStreams requires bit-identical uop streams.
+func compareStreams(t *testing.T, want, got []Uop, what string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: scalar stream has %d uops, batch stream has %d", what, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: uop %d differs:\nscalar %+v\nbatch  %+v", what, i, want[i], got[i])
+		}
+	}
+}
+
+// TestBatchScalarEquivalence is the batch/scalar equivalence property: for
+// every BatchReader implementation, every batch size and every truncation
+// point, ReadBatch must deliver the bit-identical stream repeated Next calls
+// would.
+func TestBatchScalarEquivalence(t *testing.T) {
+	const n = 1000
+	batchSizes := []int{1, 3, 7, 64, 256}
+	seeds := []uint64{1, 42, 0xdeadbeef}
+
+	// Each case builds two independent readers over the same stream: one
+	// drained by Next, one by ReadBatch.
+	cases := []struct {
+		name  string
+		fresh func(seed uint64) (scalar Reader, batch BatchReader)
+	}{
+		{"Slice", func(seed uint64) (Reader, BatchReader) {
+			return NewSlice(makeUops(seed, n)), NewSlice(makeUops(seed, n))
+		}},
+		{"AsBatch-scalar", func(seed uint64) (Reader, BatchReader) {
+			return scalarOnly{NewSlice(makeUops(seed, n))},
+				AsBatch(scalarOnly{NewSlice(makeUops(seed, n))})
+		}},
+		{"AsBatch-passthrough", func(seed uint64) (Reader, BatchReader) {
+			return NewSlice(makeUops(seed, n)), AsBatch(NewSlice(makeUops(seed, n)))
+		}},
+		{"Counter-batched", func(seed uint64) (Reader, BatchReader) {
+			return &Counter{R: NewSlice(makeUops(seed, n))},
+				&Counter{R: NewSlice(makeUops(seed, n))}
+		}},
+		{"Counter-scalar-inner", func(seed uint64) (Reader, BatchReader) {
+			return &Counter{R: scalarOnly{NewSlice(makeUops(seed, n))}},
+				&Counter{R: scalarOnly{NewSlice(makeUops(seed, n))}}
+		}},
+		{"FileReader", func(seed uint64) (Reader, BatchReader) {
+			return mustFileReader(t, seed, n), mustFileReader(t, seed, n)
+		}},
+	}
+	for _, tc := range cases {
+		for _, seed := range seeds {
+			for _, bs := range batchSizes {
+				name := fmt.Sprintf("%s/seed=%d/batch=%d", tc.name, seed, bs)
+				t.Run(name, func(t *testing.T) {
+					scalar, batch := tc.fresh(seed)
+					compareStreams(t, drainScalar(scalar), drainBatch(t, batch, bs), name)
+				})
+			}
+		}
+	}
+
+	// Limit: every interesting truncation point, both a batch-capable and a
+	// scalar-only inner reader.
+	limits := []uint64{0, 1, n - 1, n, n + 1000}
+	for _, seed := range seeds {
+		for _, bs := range batchSizes {
+			for _, lim := range limits {
+				name := fmt.Sprintf("Limit/seed=%d/batch=%d/n=%d", seed, bs, lim)
+				t.Run(name, func(t *testing.T) {
+					scalar := NewLimit(NewSlice(makeUops(seed, n)), lim)
+					batch := NewLimit(NewSlice(makeUops(seed, n)), lim)
+					compareStreams(t, drainScalar(scalar), drainBatch(t, batch, bs), name)
+				})
+				t.Run(name+"/scalar-inner", func(t *testing.T) {
+					scalar := NewLimit(scalarOnly{NewSlice(makeUops(seed, n))}, lim)
+					batch := NewLimit(scalarOnly{NewSlice(makeUops(seed, n))}, lim)
+					compareStreams(t, drainScalar(scalar), drainBatch(t, batch, bs), name)
+				})
+			}
+		}
+	}
+}
+
+func mustFileReader(t *testing.T, seed uint64, n int) *FileReader {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uops := makeUops(seed, n)
+	for i := range uops {
+		if err := w.Write(&uops[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFileReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+// TestBatchScalarInterleave mixes Next and ReadBatch on one reader: both
+// must advance the same cursor.
+func TestBatchScalarInterleave(t *testing.T) {
+	const n = 500
+	want := makeUops(7, n)
+	impls := map[string]BatchReader{
+		"Slice":      NewSlice(makeUops(7, n)),
+		"AsBatch":    AsBatch(scalarOnly{NewSlice(makeUops(7, n))}),
+		"Limit":      NewLimit(NewSlice(makeUops(7, n)), n),
+		"Counter":    &Counter{R: NewSlice(makeUops(7, n))},
+		"FileReader": mustFileReader(t, 7, n),
+	}
+	for name, r := range impls {
+		t.Run(name, func(t *testing.T) {
+			var got []Uop
+			buf := make([]Uop, 13)
+			for turn := 0; ; turn++ {
+				if turn%2 == 0 {
+					u, ok := r.Next()
+					if !ok {
+						break
+					}
+					got = append(got, u)
+				} else {
+					m := r.ReadBatch(buf)
+					if m == 0 {
+						break
+					}
+					got = append(got, buf[:m]...)
+				}
+			}
+			// One side may end first; drain the rest through the other.
+			for {
+				u, ok := r.Next()
+				if !ok {
+					break
+				}
+				got = append(got, u)
+			}
+			compareStreams(t, want, got, name)
+		})
+	}
+}
+
+// TestCounterBatchCounts verifies Counter's bulk accounting matches the
+// scalar path exactly (uop and FLOP totals).
+func TestCounterBatchCounts(t *testing.T) {
+	const n = 2000
+	cs := &Counter{R: NewSlice(makeUops(99, n))}
+	drainScalar(cs)
+	cb := &Counter{R: NewSlice(makeUops(99, n))}
+	drainBatch(t, cb, 64)
+	if cs.Uops != cb.Uops || cs.FLOPs != cb.FLOPs {
+		t.Fatalf("counter mismatch: scalar uops=%d flops=%d, batch uops=%d flops=%d",
+			cs.Uops, cs.FLOPs, cb.Uops, cb.FLOPs)
+	}
+	if cs.Uops != n {
+		t.Fatalf("Uops = %d, want %d", cs.Uops, n)
+	}
+}
+
+// TestFileReaderBatchTruncated verifies ReadBatch reports the same
+// truncated-record error Next does, after delivering the complete records.
+func TestFileReaderBatchTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uops := makeUops(3, 5)
+	for i := range uops {
+		if err := w.Write(&uops[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-10] // chop the final record mid-way
+
+	scalar, err := NewFileReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sUops := drainScalar(scalar)
+
+	batch, err := NewFileReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bUops := drainBatch(t, batch, 3)
+
+	compareStreams(t, sUops, bUops, "truncated file")
+	if len(sUops) != 4 {
+		t.Fatalf("delivered %d complete records, want 4", len(sUops))
+	}
+	if scalar.Err() == nil || batch.Err() == nil {
+		t.Fatalf("truncated file: scalar err=%v batch err=%v (both must be non-nil)",
+			scalar.Err(), batch.Err())
+	}
+	if scalar.Err().Error() != batch.Err().Error() {
+		t.Fatalf("error mismatch:\nscalar: %v\nbatch:  %v", scalar.Err(), batch.Err())
+	}
+}
+
+// TestReadBatchEmptyDst checks the degenerate empty-destination call does not
+// consume anything or report end of trace prematurely.
+func TestReadBatchEmptyDst(t *testing.T) {
+	s := NewSlice(makeUops(1, 10))
+	if n := s.ReadBatch(nil); n != 0 {
+		t.Fatalf("ReadBatch(nil) = %d", n)
+	}
+	got := drainBatch(t, s, 4)
+	if len(got) != 10 {
+		t.Fatalf("empty-dst call consumed uops: %d left", len(got))
+	}
+}

@@ -92,10 +92,11 @@ func (tw *Writer) Count() uint64 { return tw.count }
 // Flush drains buffered records to the underlying writer.
 func (tw *Writer) Flush() error { return tw.w.Flush() }
 
-// FileReader replays a trace file; it implements Reader.
+// FileReader replays a trace file; it implements Reader and BatchReader.
 type FileReader struct {
 	r    *bufio.Reader
 	buf  [recordSize]byte
+	bulk []byte // reusable ReadBatch staging buffer
 	err  error
 	seen uint64
 }
@@ -113,6 +114,23 @@ func NewFileReader(r io.Reader) (*FileReader, error) {
 	return &FileReader{r: br}, nil
 }
 
+// decodeRecord unpacks one fixed-size record into u.
+func decodeRecord(b []byte, u *Uop) {
+	u.Seq = binary.LittleEndian.Uint64(b[0:])
+	u.PC = binary.LittleEndian.Uint64(b[8:])
+	u.Addr = binary.LittleEndian.Uint64(b[16:])
+	u.Target = binary.LittleEndian.Uint64(b[24:])
+	u.Src[0] = binary.LittleEndian.Uint64(b[32:])
+	u.Src[1] = binary.LittleEndian.Uint64(b[40:])
+	u.Src[2] = binary.LittleEndian.Uint64(b[48:])
+	u.Op = Op(b[56])
+	u.Taken = b[57]&flagTaken != 0
+	u.WrongPath = b[57]&flagWrongPath != 0
+	u.VecLanes = b[58]
+	u.MaskedLanes = b[59]
+	u.MicrocodeCycles = b[60]
+}
+
 // Next implements Reader. The first read error (including a truncated final
 // record) ends the stream; inspect Err afterwards.
 func (fr *FileReader) Next() (Uop, bool) {
@@ -125,24 +143,37 @@ func (fr *FileReader) Next() (Uop, bool) {
 		}
 		return Uop{}, false
 	}
-	b := fr.buf[:]
-	u := Uop{
-		Seq:             binary.LittleEndian.Uint64(b[0:]),
-		PC:              binary.LittleEndian.Uint64(b[8:]),
-		Addr:            binary.LittleEndian.Uint64(b[16:]),
-		Target:          binary.LittleEndian.Uint64(b[24:]),
-		Op:              Op(b[56]),
-		Taken:           b[57]&flagTaken != 0,
-		WrongPath:       b[57]&flagWrongPath != 0,
-		VecLanes:        b[58],
-		MaskedLanes:     b[59],
-		MicrocodeCycles: b[60],
-	}
-	u.Src[0] = binary.LittleEndian.Uint64(b[32:])
-	u.Src[1] = binary.LittleEndian.Uint64(b[40:])
-	u.Src[2] = binary.LittleEndian.Uint64(b[48:])
+	var u Uop
+	decodeRecord(fr.buf[:], &u)
 	fr.seen++
 	return u, true
+}
+
+// ReadBatch implements BatchReader: one bulk read covers the whole batch,
+// then records decode out of the staging buffer. A truncated tail record
+// sets Err exactly as Next would; the complete records before it are still
+// delivered.
+func (fr *FileReader) ReadBatch(dst []Uop) int {
+	if fr.err != nil || len(dst) == 0 {
+		return 0
+	}
+	want := len(dst) * recordSize
+	if cap(fr.bulk) < want {
+		fr.bulk = make([]byte, want)
+	}
+	got, err := io.ReadFull(fr.r, fr.bulk[:want])
+	n := got / recordSize
+	for i := 0; i < n; i++ {
+		decodeRecord(fr.bulk[i*recordSize:], &dst[i])
+	}
+	fr.seen += uint64(n)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		fr.err = fmt.Errorf("trace: record %d: %w", fr.seen, err)
+	} else if got%recordSize != 0 {
+		// Partial trailing record: the same truncation Next reports.
+		fr.err = fmt.Errorf("trace: record %d: %w", fr.seen, io.ErrUnexpectedEOF)
+	}
+	return n
 }
 
 // Err reports a malformed-file error encountered during streaming (nil on a

@@ -157,6 +157,49 @@ type Reader interface {
 	Next() (u Uop, ok bool)
 }
 
+// BatchReader is a Reader that can also deliver uops in bulk, amortizing
+// per-uop interface dispatch and internal bookkeeping across a batch. The
+// uop stream delivered through ReadBatch must be bit-identical to the stream
+// repeated Next calls would yield (the batch/scalar equivalence property;
+// see TestBatchScalarEquivalence). Mixing Next and ReadBatch calls on the
+// same reader is allowed: both consume the same underlying cursor.
+type BatchReader interface {
+	Reader
+	// ReadBatch fills dst with the next uops of the stream and returns how
+	// many were written. It returns 0 only at end of trace (for non-empty
+	// dst); a short, non-zero count does not imply the stream has ended.
+	ReadBatch(dst []Uop) int
+}
+
+// AsBatch adapts any Reader to the batched interface. Readers that already
+// implement BatchReader are returned unchanged; everything else is wrapped
+// in a generic scalar-to-batch shim that loops Next, so callers can be
+// written against ReadBatch only.
+func AsBatch(r Reader) BatchReader {
+	if br, ok := r.(BatchReader); ok {
+		return br
+	}
+	return &scalarBatch{r: r}
+}
+
+// scalarBatch is the generic scalar-to-batch adapter behind AsBatch.
+type scalarBatch struct{ r Reader }
+
+// Next implements Reader by delegating to the wrapped reader.
+func (a *scalarBatch) Next() (Uop, bool) { return a.r.Next() }
+
+// ReadBatch implements BatchReader by looping the wrapped reader's Next.
+func (a *scalarBatch) ReadBatch(dst []Uop) int {
+	for i := range dst {
+		u, ok := a.r.Next()
+		if !ok {
+			return i
+		}
+		dst[i] = u
+	}
+	return len(dst)
+}
+
 // Slice is an in-memory trace, convenient for tests.
 type Slice struct {
 	Uops []Uop
@@ -191,6 +234,13 @@ func (s *Slice) Next() (Uop, bool) {
 	return u, true
 }
 
+// ReadBatch implements BatchReader with a single bulk copy.
+func (s *Slice) ReadBatch(dst []Uop) int {
+	n := copy(dst, s.Uops[s.pos:])
+	s.pos += n
+	return n
+}
+
 // Reset rewinds the slice so it can be replayed.
 func (s *Slice) Reset() { s.pos = 0 }
 
@@ -217,6 +267,32 @@ func (l *Limit) Next() (Uop, bool) {
 	return u, true
 }
 
+// ReadBatch implements BatchReader: the batch is clamped to the remaining
+// budget and delegated in bulk when the wrapped reader batches too.
+func (l *Limit) ReadBatch(dst []Uop) int {
+	if l.seen >= l.N {
+		return 0
+	}
+	if rem := l.N - l.seen; uint64(len(dst)) > rem {
+		dst = dst[:rem]
+	}
+	var n int
+	if br, ok := l.R.(BatchReader); ok {
+		n = br.ReadBatch(dst)
+	} else {
+		for n < len(dst) {
+			u, ok := l.R.Next()
+			if !ok {
+				break
+			}
+			dst[n] = u
+			n++
+		}
+	}
+	l.seen += uint64(n)
+	return n
+}
+
 // Counter wraps a Reader and counts uops and FLOPs as they stream by.
 type Counter struct {
 	R     Reader
@@ -232,4 +308,26 @@ func (c *Counter) Next() (Uop, bool) {
 		c.FLOPs += uint64(u.FLOPs())
 	}
 	return u, ok
+}
+
+// ReadBatch implements BatchReader, counting the whole batch in one pass.
+func (c *Counter) ReadBatch(dst []Uop) int {
+	var n int
+	if br, ok := c.R.(BatchReader); ok {
+		n = br.ReadBatch(dst)
+	} else {
+		for n < len(dst) {
+			u, ok := c.R.Next()
+			if !ok {
+				break
+			}
+			dst[n] = u
+			n++
+		}
+	}
+	c.Uops += uint64(n)
+	for i := 0; i < n; i++ {
+		c.FLOPs += uint64(dst[i].FLOPs())
+	}
+	return n
 }
