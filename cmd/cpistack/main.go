@@ -78,6 +78,10 @@ func main() {
 	}
 
 	res := sim.Run(m, mkTrace(), opts)
+	if res.Err != nil {
+		// Partial stacks look plausible; refuse to print them as a result.
+		fatal(res.Err)
+	}
 	if *jsonOut {
 		if err := export.MultiStackToJSON(os.Stdout, res.Stacks, prof.Name, m.Name); err != nil {
 			fatal(err)
@@ -121,6 +125,9 @@ func main() {
 	}
 	for _, id := range ids {
 		r := sim.Run(m.Apply(id), mkTrace(), sim.Options{})
+		if r.Err != nil {
+			fatal(r.Err)
+		}
 		tbl.Rowf(id.String(), r.Stats.CPI(), base-r.Stats.CPI())
 	}
 	fmt.Print(tbl.String())

@@ -2,6 +2,12 @@
 // simulator: Table I, Figures 1-5, the accounting-overhead claim of §IV and
 // the wrong-path accounting scheme study of §III-B.
 //
+// Like cmd/sweep, the driver is fault tolerant: each experiment's rendered
+// output can be checkpointed as JSONL the moment it completes, SIGINT and
+// SIGTERM cancel in-flight simulations cooperatively, and -resume skips
+// experiments that already finished. A panicking experiment is isolated into
+// a structured error and the command exits non-zero.
+//
 // Usage:
 //
 //	experiments                 # run everything
@@ -9,15 +15,20 @@
 //	                            # overhead, wrongpath
 //	experiments -uops 500000 -warmup 300000 -quick=false
 //	experiments -run figure2 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	experiments -checkpoint exp.jsonl -resume
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"perfstacks/internal/experiments"
 	"perfstacks/internal/runner"
@@ -30,20 +41,24 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced test sizing")
 	par := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	benchJSON := flag.String("benchjson", "", "write per-experiment wall-time stats as JSON to this file (- for stderr)")
+	ckptPath := flag.String("checkpoint", "", "persist each completed experiment's output as a JSONL line in this file")
+	resume := flag.Bool("resume", false, "reload -checkpoint and skip already-completed experiments")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: start CPU profile: %v\n", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("start CPU profile: %w", err))
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -62,6 +77,9 @@ func main() {
 		}()
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	spec := experiments.DefaultSpec()
 	if *quick {
 		spec = experiments.QuickSpec()
@@ -73,6 +91,7 @@ func main() {
 		spec.Warmup = *warmup
 	}
 	spec.Parallelism = *par
+	spec.Ctx = ctx
 
 	all := map[string]func() string{
 		"tableI":    func() string { return experiments.TableI(spec).Render() },
@@ -86,26 +105,68 @@ func main() {
 		"ablation":  func() string { return experiments.Ablation(spec).Render() },
 	}
 	order := []string{"tableI", "figure1", "figure2", "figure3", "figure4", "figure5", "overhead", "wrongpath", "ablation"}
+	canonical := make(map[string]int, len(order))
+	for i, name := range order {
+		canonical[name] = i
+	}
 
 	names := order
 	if *run != "all" {
 		if _, ok := all[*run]; !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want one of %s)\n",
-				*run, strings.Join(order, ", "))
-			os.Exit(1)
+			fatal(fmt.Errorf("unknown experiment %q (want one of %s)", *run, strings.Join(order, ", ")))
 		}
 		names = []string{*run}
 	}
 
-	// Experiments run sequentially through the shared scheduler (each one
+	var ckpt *runner.Checkpoint
+	if *ckptPath != "" {
+		var err error
+		ckpt, err = runner.OpenCheckpoint(*ckptPath, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer ckpt.Close()
+	}
+
+	// Experiments run sequentially through the shared supervisor (each one
 	// parallelizes its simulations internally via spec.Parallelism); the
-	// timed report carries per-experiment wall time for -benchjson.
+	// timed report carries per-experiment wall time for -benchjson, and a
+	// panicking experiment becomes a JobError instead of a crash.
 	outputs := make([]string, len(names))
-	report := runner.RunTimed(1, len(names), func(i int) (string, uint64) {
-		outputs[i] = all[names[i]]()
-		return names[i], 0
-	})
+	completed := make([]bool, len(names))
+	report := runner.RunTimedOpts(ctx, runner.Options{Workers: 1}, len(names),
+		func(jctx context.Context, i int) (string, uint64, error) {
+			name := names[i]
+			if ckpt != nil {
+				// Checkpoints are keyed by experiment name (stable across
+				// -run filters that renumber the job list).
+				if e, ok := ckpt.LookupLabel(name); ok {
+					if err := json.Unmarshal(e.Payload, &outputs[i]); err != nil {
+						return name, 0, fmt.Errorf("corrupt checkpoint payload (delete %s or rerun without -resume): %w", *ckptPath, err)
+					}
+					completed[i] = true
+					return name, 0, nil
+				}
+			}
+			outputs[i] = all[name]()
+			if jctx.Err() != nil {
+				// Canceled mid-experiment: the rendered output covers
+				// partial simulations and must not be reported or persisted.
+				return name, 0, fmt.Errorf("experiment interrupted: %w", jctx.Err())
+			}
+			completed[i] = true
+			if ckpt != nil {
+				if err := ckpt.Record(canonical[name], name, outputs[i]); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+				}
+			}
+			return name, 0, nil
+		}, nil)
+
 	for i, name := range names {
+		if !completed[i] {
+			continue
+		}
 		fmt.Printf("===== %s (%.1fs) =====\n%s\n", name, report.Jobs[i].WallSeconds, outputs[i])
 	}
 	if *benchJSON != "" {
@@ -113,15 +174,40 @@ func main() {
 		if *benchJSON != "-" {
 			f, err := os.Create(*benchJSON)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			defer f.Close()
 			out = f
 		}
 		if err := report.WriteJSON(out); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+
+	var missing int
+	for _, done := range completed {
+		if !done {
+			missing++
+		}
+	}
+	switch {
+	case report.Failed():
+		for i := range report.Errors {
+			fmt.Fprintln(os.Stderr, "experiments:", report.Errors[i].Error())
+		}
+		os.Exit(1)
+	case missing > 0:
+		hint := ""
+		if ckpt != nil {
+			hint = fmt.Sprintf("; rerun with -checkpoint %s -resume to continue", *ckptPath)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: interrupted with %d of %d experiments missing%s\n",
+			missing, len(names), hint)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

@@ -82,6 +82,10 @@ func main() {
 
 	opts := sim.Options{CPI: true, FLOPS: true, WarmupUops: *warm}
 	res := sim.Run(m, trace.NewLimit(tr, *uops+*warm), opts)
+	if res.Err != nil {
+		// Partial stacks look plausible; refuse to print them as a result.
+		fatal(res.Err)
+	}
 
 	issue := res.Stacks.Stack(core.StageIssue)
 	fmt.Printf("%s %s on %s (%s style): CPI %.3f, IPC %.2f\n\n",

@@ -3,18 +3,31 @@
 // CSV — the bulk-characterization workflow, ready for spreadsheets or
 // plotting scripts.
 //
+// The sweep is fault tolerant: each completed run is checkpointed as one
+// JSONL line the moment it finishes, SIGINT/SIGTERM cancel the worker pool
+// cooperatively and flush partial results, and -resume reloads the
+// checkpoint and simulates only the missing configurations. A run whose
+// trace faults or that panics is reported and makes the sweep exit non-zero
+// without taking down the other runs.
+//
 // Usage:
 //
 //	sweep -machines BDW,KNL -uops 300000 -warmup 200000 > stacks.csv
 //	sweep -benchjson bench.json > stacks.csv   # also write run stats as JSON
+//	sweep -checkpoint sweep.jsonl              # persist completed runs
+//	sweep -checkpoint sweep.jsonl -resume      # continue an interrupted sweep
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"perfstacks/internal/config"
 	"perfstacks/internal/export"
@@ -30,7 +43,13 @@ func main() {
 	warm := flag.Uint64("warmup", 200_000, "warm-up uops per run")
 	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations")
 	benchJSON := flag.String("benchjson", "", "write per-run wall-time/throughput stats as JSON to this file (- for stderr)")
+	ckptPath := flag.String("checkpoint", "", "persist each completed run as a JSONL line in this file")
+	resume := flag.Bool("resume", false, "reload -checkpoint and skip already-completed runs")
 	flag.Parse()
+
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
 
 	var ms []config.Machine
 	for _, name := range strings.Split(*machines, ",") {
@@ -53,23 +72,69 @@ func main() {
 		}
 	}
 
-	rows := make([]export.LabeledStacks, len(jobs))
-	report := runner.RunTimed(max(1, *par), len(jobs), func(i int) (string, uint64) {
-		j := jobs[i]
-		opts := sim.Default()
-		opts.WarmupUops = *warm
-		res := sim.Run(j.m, trace.NewLimit(workload.NewGenerator(j.prof), *warm+*uops), opts)
-		rows[i] = export.LabeledStacks{
-			Workload: j.prof.Name,
-			Machine:  j.m.Name,
-			Stacks:   res.Stacks,
-		}
-		return j.prof.Name + "/" + j.m.Name, *warm + *uops
-	})
+	// SIGINT/SIGTERM cancel the pool: running simulations stop at their next
+	// cancellation poll, unstarted jobs are skipped, and everything already
+	// checkpointed stays on disk for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	if err := export.StacksToCSV(os.Stdout, rows); err != nil {
-		fatal(err)
+	var ckpt *runner.Checkpoint
+	if *ckptPath != "" {
+		var err error
+		ckpt, err = runner.OpenCheckpoint(*ckptPath, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer ckpt.Close()
+		if *resume && ckpt.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: resuming, %d/%d runs already completed\n", ckpt.Len(), len(jobs))
+		}
 	}
+
+	rows := make([]export.LabeledStacks, len(jobs))
+	completed := make([]bool, len(jobs))
+	onDone := func(i int, s runner.Stat) {
+		if s.Err != "" || ckpt == nil {
+			return
+		}
+		if _, ok := ckpt.Lookup(i); ok {
+			return // reused a resumed entry; it is already on disk
+		}
+		if err := ckpt.Record(i, s.Label, rows[i]); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+		}
+	}
+	report := runner.RunTimedOpts(ctx, runner.Options{Workers: max(1, *par)}, len(jobs),
+		func(jctx context.Context, i int) (string, uint64, error) {
+			j := jobs[i]
+			label := j.prof.Name + "/" + j.m.Name
+			if ckpt != nil {
+				if e, ok := ckpt.Lookup(i); ok {
+					var row export.LabeledStacks
+					if err := json.Unmarshal(e.Payload, &row); err != nil {
+						return label, 0, fmt.Errorf("corrupt checkpoint payload (delete %s or rerun without -resume): %w", *ckptPath, err)
+					}
+					rows[i] = row
+					completed[i] = true
+					return label, 0, nil
+				}
+			}
+			opts := sim.Default()
+			opts.WarmupUops = *warm
+			opts.Context = jctx
+			res := sim.Run(j.m, trace.NewLimit(workload.NewGenerator(j.prof), *warm+*uops), opts)
+			if res.Err != nil {
+				return label, 0, res.Err
+			}
+			rows[i] = export.LabeledStacks{
+				Workload: j.prof.Name,
+				Machine:  j.m.Name,
+				Stacks:   res.Stacks,
+			}
+			completed[i] = true
+			return label, *warm + *uops, nil
+		}, onDone)
+
 	if *benchJSON != "" {
 		out := os.Stderr
 		if *benchJSON != "-" {
@@ -83,6 +148,40 @@ func main() {
 		if err := report.WriteJSON(out); err != nil {
 			fatal(err)
 		}
+	}
+
+	var missing int
+	for _, done := range completed {
+		if !done {
+			missing++
+		}
+	}
+	switch {
+	case ctx.Err() != nil:
+		// Interrupted: canceled runs show up as failures too, but the story
+		// to tell is the resume path, not the per-run cancellation errors.
+		hint := ""
+		if ckpt != nil {
+			hint = fmt.Sprintf("; completed runs are checkpointed, rerun with -checkpoint %s -resume", *ckptPath)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: interrupted with %d of %d runs missing; no CSV emitted%s\n",
+			missing, len(jobs), hint)
+		os.Exit(1)
+	case report.Failed():
+		for i := range report.Errors {
+			fmt.Fprintln(os.Stderr, "sweep:", report.Errors[i].Error())
+		}
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d runs failed; no CSV emitted (partial stacks are not a measurement)\n",
+			len(report.Errors), len(jobs))
+		os.Exit(1)
+	case missing > 0:
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d runs missing; no CSV emitted\n", missing, len(jobs))
+		os.Exit(1)
+	}
+
+	// Every run completed: emit the merged CSV (resumed and fresh rows alike).
+	if err := export.StacksToCSV(os.Stdout, rows); err != nil {
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d runs (%d workloads x %d machines) in %.1fs, %.0f uops/s aggregate\n",
 		len(jobs), len(profs), len(ms), report.WallSeconds, report.UopsPerSec)

@@ -119,8 +119,10 @@ func replayFile(path, machine string, warm uint64) {
 	opts := sim.Default()
 	opts.WarmupUops = warm
 	res := sim.Run(m, r, opts)
-	if err := r.Err(); err != nil {
-		fatal(err)
+	if res.Err != nil {
+		// Covers both decode faults (torn file) and I/O errors: the stacks
+		// then describe a truncated stream, not the recorded workload.
+		fatal(res.Err)
 	}
 	fmt.Printf("%s on %s: %d uops, CPI %.3f\n\n", path, m.Name, res.Stats.Committed, res.CPIOf())
 	fmt.Print(experiments.RenderMultiStack(res.Stacks))

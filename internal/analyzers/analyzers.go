@@ -1,7 +1,8 @@
-// Package analyzers holds the simlint suite: five static-analysis passes
+// Package analyzers holds the simlint suite: six static-analysis passes
 // that machine-check the accounting core's structural invariants — the
 // conventions that make every CPI/FLOPS stack sum exactly to total cycles —
-// and the simulator's hot-path performance contracts.
+// the simulator's hot-path performance contracts, and its error-propagation
+// contract.
 //
 //   - enumexhaustive: switches over accounting enums cover every value (or
 //     carry a //simlint:partial annotation) and fixed arrays indexed by such
@@ -14,6 +15,9 @@
 //     accumulation inside the simulation packages.
 //   - acctencapsulation: stack accumulator fields are written only from
 //     their accountant's own file set.
+//   - errcheckerr: non-test code that drains a trace reader to exhaustion
+//     also checks the reader's Err() (or trace.ErrOf) in the same function,
+//     so a faulted stream can never pass for a clean end of trace.
 //
 // DESIGN.md §8 lists the enforced invariants; cmd/simlint is the
 // multichecker binary that runs the suite (standalone or as a
@@ -36,6 +40,7 @@ func All() []*analysis.Analyzer {
 		BatchIngest,
 		Determinism,
 		AcctEncapsulation,
+		ErrCheckErr,
 	}
 }
 

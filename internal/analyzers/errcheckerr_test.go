@@ -1,0 +1,182 @@
+package analyzers
+
+import (
+	"testing"
+
+	"perfstacks/internal/analysis/analysistest"
+)
+
+func TestErrCheckErr(t *testing.T) {
+	tracePkg := analysistest.Package{
+		Path: "example.com/fake/internal/trace",
+		Files: map[string]string{
+			"trace.go": `package trace
+
+type Uop struct {
+	Seq uint64
+}
+
+type Reader interface {
+	Next() (Uop, bool)
+}
+
+type ErrReader interface {
+	Reader
+	Err() error
+}
+
+type BatchReader interface {
+	Reader
+	ReadBatch(dst []Uop) int
+}
+
+func ErrOf(r Reader) error {
+	if er, ok := r.(ErrReader); ok {
+		return er.Err()
+	}
+	return nil
+}
+
+type Slice struct {
+	Uops []Uop
+	pos  int
+}
+
+func (s *Slice) Next() (Uop, bool) {
+	if s.pos >= len(s.Uops) {
+		return Uop{}, false
+	}
+	u := s.Uops[s.pos]
+	s.pos++
+	return u, true
+}
+
+func (s *Slice) ReadBatch(dst []Uop) int {
+	n := copy(dst, s.Uops[s.pos:])
+	s.pos += n
+	return n
+}
+
+func (s *Slice) Err() error { return nil }
+
+// Drain loops inside internal/trace itself are exempt: this package is the
+// propagation machinery, not a consumer.
+func internalDrain(r Reader) int {
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+`,
+		},
+	}
+	toolPkg := analysistest.Package{
+		Path: "example.com/fake/internal/tool",
+		Files: map[string]string{
+			"tool.go": `package tool
+
+import "example.com/fake/internal/trace"
+
+// goodScalar drains and then consults Err: the canonical pattern.
+func goodScalar(r *trace.Slice) (int, error) {
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n, r.Err()
+}
+
+// goodErrOf consults the channel through the interface helper.
+func goodErrOf(r trace.Reader) (int, error) {
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n, trace.ErrOf(r)
+}
+
+// badScalar drains to exhaustion and never asks why the stream ended.
+func badScalar(r *trace.Slice) int {
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok { // want "drained without an Err"
+			return n
+		}
+		n++
+	}
+}
+
+// badBatch has the same bug through the batched interface.
+func badBatch(r trace.BatchReader) int {
+	buf := make([]trace.Uop, 64)
+	n := 0
+	for {
+		got := r.ReadBatch(buf) // want "drained without an Err"
+		if got == 0 {
+			return n
+		}
+		n += got
+	}
+}
+
+// peek is a single bounded read, not a drain loop: no finding.
+func peek(r trace.Reader) (trace.Uop, bool) {
+	return r.Next()
+}
+
+// annotated defers the check upward by documented contract.
+func annotated(r trace.Reader) int {
+	n := 0
+	for {
+		//simlint:partial caller checks trace.ErrOf at end of run
+		if _, ok := r.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// otherIter has the right shape names but iterates ints, not uops.
+type ints struct{ i int }
+
+func (c *ints) Next() (int, bool) { c.i++; return c.i, c.i < 10 }
+
+func sum(c *ints) int {
+	t := 0
+	for {
+		v, ok := c.Next()
+		if !ok {
+			return t
+		}
+		t += v
+	}
+}
+`,
+			"tool_test.go": `package tool
+
+import "example.com/fake/internal/trace"
+
+// Test files drain freely: equivalence harnesses compare raw streams.
+func drainForTest(r trace.Reader) int {
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+`,
+		},
+	}
+	analysistest.Run(t, ErrCheckErr, tracePkg, toolPkg)
+}

@@ -1,5 +1,7 @@
 package cpu
 
+import "context"
+
 // SMP steps several cores cycle-by-cycle against a shared uncore (the cores'
 // hierarchies are built over one shared L3/memory via
 // cache.NewHierarchyShared). Cores that commit a barrier uop yield — their
@@ -12,6 +14,9 @@ type SMP struct {
 	waiting  int
 	running  int
 	finished []bool
+
+	ctx      context.Context
+	canceled bool
 }
 
 // NewSMP wires the cores' barrier callbacks together.
@@ -61,8 +66,32 @@ func (s *SMP) Step() bool {
 	return s.running > 0
 }
 
-// Run steps all cores to completion.
+// SetContext installs a context for cooperative cancellation of Run. The
+// whole gang stops together: a lockstep harness must never advance one core
+// past its siblings, so cancellation is polled between full SMP steps, not
+// inside any single core.
+func (s *SMP) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Canceled reports whether Run stopped early because its context was done.
+func (s *SMP) Canceled() bool { return s.canceled }
+
+// Run steps all cores to completion, or until the installed context is done
+// (polled every cancelCheckMask+1 SMP steps, like Core.Run).
 func (s *SMP) Run() {
-	for s.Step() {
+	if s.ctx == nil {
+		for s.Step() {
+		}
+		return
+	}
+	done := s.ctx.Done()
+	for n := uint(1); s.Step(); n++ {
+		if n&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				s.canceled = true
+				return
+			default:
+			}
+		}
 	}
 }

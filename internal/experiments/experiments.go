@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"perfstacks/internal/config"
 	"perfstacks/internal/runner"
 	"perfstacks/internal/sim"
@@ -19,6 +21,10 @@ type RunSpec struct {
 	Warmup uint64
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Ctx, when non-nil, cancels in-flight simulations cooperatively (the
+	// graceful-shutdown path of cmd/experiments). A canceled experiment's
+	// output is partial and must not be rendered as a result.
+	Ctx context.Context
 }
 
 // DefaultSpec returns the standard experiment sizing.
@@ -33,10 +39,19 @@ func QuickSpec() RunSpec {
 
 func (s RunSpec) workers() int { return runner.Workers(s.Parallelism) }
 
+// ctx returns the spec's context (never nil).
+func (s RunSpec) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
 // runSPEC simulates a named SPEC-like profile on a machine (with optional
 // idealizations) under the spec's sizing.
 func runSPEC(spec RunSpec, m config.Machine, prof workload.Profile, opts sim.Options) sim.Result {
 	opts.WarmupUops = spec.Warmup
+	opts.Context = spec.Ctx
 	tr := trace.NewLimit(workload.NewGenerator(prof), spec.Warmup+spec.Uops)
 	return sim.Run(m, tr, opts)
 }
@@ -49,8 +64,19 @@ func cpiOf(spec RunSpec, m config.Machine, prof workload.Profile) float64 {
 
 // parallel runs n jobs across the spec's worker pool (the shared
 // internal/runner scheduler; results are index-ordered by construction).
+// Experiment jobs are pure in-memory computations, so a job failure is a
+// programming error: the supervisor's recovered panics are re-raised here
+// rather than silently dropped. Jobs skipped by a canceled spec context
+// simply leave their slots empty — the cmd layer checks the context before
+// rendering.
 func parallel(spec RunSpec, n int, job func(i int)) {
-	runner.Run(spec.workers(), n, job)
+	failed := runner.Run(spec.ctx(), spec.workers(), n, func(_ context.Context, i int) error {
+		job(i)
+		return nil
+	})
+	for i := range failed {
+		panic(failed[i].Error())
+	}
 }
 
 // mustProfile fetches a named profile or panics (experiment tables are

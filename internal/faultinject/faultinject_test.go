@@ -1,0 +1,285 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+// mcf returns a representative SPEC-like profile for fault streams.
+func mcf() workload.Profile {
+	p, ok := workload.SPECProfile("mcf")
+	if !ok {
+		panic("mcf profile missing")
+	}
+	return p
+}
+
+// genTrace renders n generated uops to the binary trace format.
+func genTrace(t *testing.T, n uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(mcf())
+	for i := uint64(0); i < n; i++ {
+		u, ok := g.Next()
+		if !ok {
+			t.Fatal("generator ended early")
+		}
+		if err := w.Write(&u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFailAfterSurfacesError(t *testing.T) {
+	for _, after := range []uint64{0, 1, 99, 1000} {
+		fr := FailAfter(workload.NewGenerator(mcf()), after, nil)
+		var got uint64
+		for {
+			_, ok := fr.Next()
+			if !ok {
+				break
+			}
+			got++
+		}
+		if got != after {
+			t.Fatalf("after=%d: delivered %d uops", after, got)
+		}
+		if err := trace.ErrOf(fr); !errors.Is(err, ErrInjected) {
+			t.Fatalf("after=%d: ErrOf = %v, want ErrInjected", after, err)
+		}
+	}
+}
+
+func TestFailAfterCustomCause(t *testing.T) {
+	cause := errors.New("the disk caught fire")
+	fr := FailAfter(trace.NewSlice(nil), 0, cause)
+	if _, ok := fr.Next(); ok {
+		t.Fatal("expected immediate fault")
+	}
+	if err := fr.Err(); !errors.Is(err, cause) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err = %v, want both ErrInjected and the cause", err)
+	}
+}
+
+// A fault mid-batch must yield a short batch first, then the error — never a
+// batch padded with garbage and never a lost error.
+func TestFailAfterMidBatch(t *testing.T) {
+	fr := FailAfter(workload.NewGenerator(mcf()), 10, nil)
+	dst := make([]trace.Uop, 64)
+	if n := fr.ReadBatch(dst); n != 10 {
+		t.Fatalf("straddling batch returned %d uops, want the 10 pre-fault ones", n)
+	}
+	if n := fr.ReadBatch(dst); n != 0 {
+		t.Fatalf("post-fault batch returned %d uops", n)
+	}
+	if !errors.Is(fr.Err(), ErrInjected) {
+		t.Fatalf("Err = %v", fr.Err())
+	}
+}
+
+// FailAfter under the batch adapter must agree with scalar draining.
+func TestFailAfterScalarBatchAgree(t *testing.T) {
+	drain := func(useBatch bool) (uint64, error) {
+		fr := FailAfter(workload.NewGenerator(mcf()), 777, nil)
+		var n uint64
+		if useBatch {
+			dst := make([]trace.Uop, 50)
+			for {
+				got := fr.ReadBatch(dst)
+				n += uint64(got)
+				if got == 0 {
+					break
+				}
+			}
+		} else {
+			for {
+				if _, ok := fr.Next(); !ok {
+					break
+				}
+				n++
+			}
+		}
+		return n, fr.Err()
+	}
+	sn, serr := drain(false)
+	bn, berr := drain(true)
+	if sn != bn || (serr == nil) != (berr == nil) {
+		t.Fatalf("scalar (%d, %v) != batch (%d, %v)", sn, serr, bn, berr)
+	}
+}
+
+func TestFailAfterCleanUnderlyingEOF(t *testing.T) {
+	// Underlying stream ends before the injection point: no injected fault.
+	fr := FailAfter(trace.NewLimit(workload.NewGenerator(mcf()), 5), 100, nil)
+	var n int
+	for {
+		if _, ok := fr.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 || fr.Err() != nil {
+		t.Fatalf("clean short stream: n=%d err=%v", n, fr.Err())
+	}
+}
+
+// Every byte-level fault kind, across many seeds, must surface as an error
+// from the file-reader stack — and the complete records delivered before the
+// fault must match the pristine stream byte for byte.
+func TestByteFaultsAlwaysSurface(t *testing.T) {
+	const records = 40
+	data := genTrace(t, records)
+	pristine := drainAll(t, bytes.NewReader(data))
+
+	kinds := []struct {
+		name   string
+		faults Faults
+	}{
+		{"short-read", FaultShortRead},
+		{"truncate", FaultTruncate},
+		{"bit-flip", FaultBitFlip},
+		{"device-error", FaultErr},
+		{"truncate+short-read", FaultTruncate | FaultShortRead},
+		{"error+short-read", FaultErr | FaultShortRead},
+	}
+	for _, k := range kinds {
+		for seed := uint64(1); seed <= 25; seed++ {
+			br := NewByteReader(bytes.NewReader(data), k.faults, seed, int64(len(data)))
+			fr, err := trace.NewFileReader(br)
+			if err != nil {
+				// Fault hit the header: surfacing at construction is correct.
+				continue
+			}
+			var uops []trace.Uop
+			for {
+				u, ok := fr.Next()
+				if !ok {
+					break
+				}
+				uops = append(uops, u)
+			}
+			rerr := fr.Err()
+			switch {
+			case k.faults == FaultShortRead:
+				// Short reads alone are not a fault: io.ReadFull must
+				// reassemble every record.
+				if rerr != nil || len(uops) != records {
+					t.Fatalf("%s seed %d: short reads corrupted a clean stream: n=%d err=%v", k.name, seed, len(uops), rerr)
+				}
+			case k.faults&FaultBitFlip != 0:
+				// A flipped bit changes payload, not framing: the stream
+				// still decodes; record count must be intact and exactly one
+				// uop may differ. (Checksums are future work — see DESIGN.)
+				if len(uops) != records {
+					t.Fatalf("%s seed %d: bit flip changed record count to %d", k.name, seed, len(uops))
+				}
+			default:
+				if rerr == nil && len(uops) != records {
+					t.Fatalf("%s seed %d: silent truncation: %d/%d records, err=nil", k.name, seed, len(uops), records)
+				}
+				if len(uops) == records && k.faults&FaultTruncate != 0 && br.CutAt() < int64(len(data)) && rerr == nil {
+					t.Fatalf("%s seed %d: stream cut at %d yet read fully and cleanly", k.name, seed, br.CutAt())
+				}
+			}
+			// Prefix property: everything delivered before the fault is
+			// bit-identical to the pristine stream (bit flips exempt).
+			if k.faults&FaultBitFlip == 0 {
+				for i, u := range uops {
+					if u != pristine[i] {
+						t.Fatalf("%s seed %d: record %d diverges from pristine prefix", k.name, seed, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func drainAll(t *testing.T, r io.Reader) []trace.Uop {
+	t.Helper()
+	fr, err := trace.NewFileReader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uops []trace.Uop
+	for {
+		u, ok := fr.Next()
+		if !ok {
+			break
+		}
+		uops = append(uops, u)
+	}
+	if err := fr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return uops
+}
+
+func TestByteReaderDeterministic(t *testing.T) {
+	data := genTrace(t, 20)
+	read := func() ([]byte, error) {
+		br := NewByteReader(bytes.NewReader(data), FaultTruncate|FaultBitFlip, 42, int64(len(data)))
+		out, err := io.ReadAll(br)
+		return out, err
+	}
+	a, aerr := read()
+	b, berr := read()
+	if !bytes.Equal(a, b) || (aerr == nil) != (berr == nil) {
+		t.Fatal("same seed must produce identical faults")
+	}
+}
+
+// The delayed error fires only after the full payload was served — readers
+// that stop checking errors at the end of data would miss it.
+func TestDelayedErrSurfacesAfterFullStream(t *testing.T) {
+	const records = 12
+	data := genTrace(t, records)
+	fr, err := trace.NewFileReader(NewDelayedErr(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		if _, ok := fr.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != records {
+		t.Fatalf("delivered %d/%d records before the delayed error", n, records)
+	}
+	if err := fr.Err(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err = %v, want the deferred device error", err)
+	}
+}
+
+// Nothing in the fault matrix may panic, even when the reader stack is
+// drained through every wrapper at once.
+func TestNoPanicsUnderWrappedFaults(t *testing.T) {
+	data := genTrace(t, 30)
+	for seed := uint64(1); seed <= 10; seed++ {
+		br := NewByteReader(bytes.NewReader(data), FaultTruncate|FaultBitFlip|FaultShortRead|FaultErr, seed, int64(len(data)))
+		fr, err := trace.NewFileReader(br)
+		if err != nil {
+			continue
+		}
+		r := &trace.Counter{R: trace.NewLimit(fr, 25)}
+		b := trace.AsBatch(r)
+		dst := make([]trace.Uop, 7)
+		for b.ReadBatch(dst) > 0 {
+		}
+		_ = trace.ErrOf(b) // may be nil (limit hit first) or a fault; must not panic
+	}
+}

@@ -1,0 +1,132 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// CheckpointEntry is one completed job persisted in a checkpoint file.
+type CheckpointEntry struct {
+	// Index is the job's 0..n-1 position in the sweep.
+	Index int `json:"index"`
+	// Label identifies the job (e.g. "mcf/BDW").
+	Label string `json:"label,omitempty"`
+	// Payload holds the job's result, opaque to the runner (cmd/sweep
+	// stores the labeled stacks, cmd/experiments the rendered output).
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Checkpoint persists completed-run results as JSONL, one entry per line,
+// appended as jobs finish (through the RunTimedOpts onDone hook). Because
+// every line is self-contained, a run killed at any instant leaves a valid
+// prefix: on resume the completed entries are reloaded and their indices
+// skipped, and a torn final line — the signature of a mid-write kill — is
+// ignored rather than poisoning the whole file.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[int]CheckpointEntry
+}
+
+// OpenCheckpoint opens the JSONL checkpoint at path, creating it if needed.
+// With resume, existing entries are loaded and later Records append; without
+// resume any previous content is discarded. A corrupt line anywhere but the
+// end of the file is an error — it means something other than a mid-write
+// kill damaged the checkpoint, and silently dropping completed work there
+// would re-run (or worse, skip) the wrong indices.
+func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
+	done := make(map[int]CheckpointEntry)
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	} else if data, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 1<<20), 1<<24)
+		var torn bool
+		for lineNo := 1; sc.Scan(); lineNo++ {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			if torn {
+				return nil, fmt.Errorf("runner: checkpoint %s: corrupt entry on line %d (not at end of file)", path, lineNo-1)
+			}
+			var e CheckpointEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				torn = true // tolerated only as the final line
+				continue
+			}
+			done[e.Index] = e
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("runner: checkpoint %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runner: checkpoint %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: checkpoint %s: %w", path, err)
+	}
+	return &Checkpoint{f: f, done: done}, nil
+}
+
+// Lookup returns the persisted entry for job i, if any.
+func (c *Checkpoint) Lookup(i int) (CheckpointEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.done[i]
+	return e, ok
+}
+
+// LookupLabel returns the persisted entry with the given label, if any.
+// Index-keyed lookups are the norm (cmd/sweep); label-keyed lookups let a
+// resumed run survive reordered or filtered job lists (cmd/experiments keys
+// checkpoints by experiment name, and -run changes the index mapping).
+func (c *Checkpoint) LookupLabel(label string) (CheckpointEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.done {
+		if e.Label == label {
+			return e, true
+		}
+	}
+	return CheckpointEntry{}, false
+}
+
+// Len returns the number of completed entries known.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Record persists job i's result as one JSONL line, unbuffered, so the
+// entry survives the process dying right after the call. Duplicate indices
+// are allowed; the latest entry wins on the next resume.
+func (c *Checkpoint) Record(i int, label string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint payload for job %d: %w", i, err)
+	}
+	e := CheckpointEntry{Index: i, Label: label, Payload: raw}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint entry for job %d: %w", i, err)
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(line); err != nil {
+		return fmt.Errorf("runner: writing checkpoint entry for job %d: %w", i, err)
+	}
+	c.done[i] = e
+	return nil
+}
+
+// Close releases the underlying file.
+func (c *Checkpoint) Close() error { return c.f.Close() }

@@ -1,0 +1,233 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+type fakeResult struct {
+	Name string  `json:"name"`
+	CPI  float64 `json:"cpi"`
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	cp, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := cp.Record(i, fmt.Sprintf("job%d", i), fakeResult{Name: fmt.Sprintf("w%d", i), CPI: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", re.Len())
+	}
+	for i := 0; i < 5; i++ {
+		e, ok := re.Lookup(i)
+		if !ok {
+			t.Fatalf("entry %d missing after resume", i)
+		}
+		var r fakeResult
+		if err := json.Unmarshal(e.Payload, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.CPI != float64(i) || e.Label != fmt.Sprintf("job%d", i) {
+			t.Fatalf("entry %d = %+v / %+v", i, e, r)
+		}
+	}
+	if _, ok := re.Lookup(99); ok {
+		t.Fatal("Lookup of unknown index succeeded")
+	}
+}
+
+// A process killed mid-write leaves a torn final line; resume must tolerate
+// exactly that and keep every complete entry.
+func TestCheckpointResumeToleratesTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	cp, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Record(0, "a", nil)
+	cp.Record(1, "b", nil)
+	cp.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No trailing newline: the write was cut off.
+	if _, err := f.WriteString(`{"index":2,"label":"tr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 2 {
+		t.Fatalf("Len = %d, want the 2 complete entries", re.Len())
+	}
+	if _, ok := re.Lookup(2); ok {
+		t.Fatal("the torn entry must not count as completed")
+	}
+}
+
+// Corruption anywhere else is not a mid-write kill — refuse to resume rather
+// than silently re-run or skip the wrong indices.
+func TestCheckpointResumeRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	content := `{"index":0,"label":"a"}
+NOT JSON AT ALL
+{"index":2,"label":"c"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, true); err == nil {
+		t.Fatal("mid-file corruption must fail the resume")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error %v should name the corruption", err)
+	}
+}
+
+func TestCheckpointResumeMissingFileIsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "never-written.jsonl")
+	cp, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatalf("resume with no prior checkpoint must start fresh: %v", err)
+	}
+	defer cp.Close()
+	if cp.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", cp.Len())
+	}
+}
+
+func TestCheckpointTruncatesWithoutResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	cp, _ := OpenCheckpoint(path, false)
+	cp.Record(0, "stale", nil)
+	cp.Close()
+
+	cp2, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Len() != 0 {
+		t.Fatal("non-resume open must discard prior entries")
+	}
+	data, _ := os.ReadFile(path)
+	if len(data) != 0 {
+		t.Fatalf("file not truncated: %q", data)
+	}
+}
+
+func TestCheckpointDuplicateIndexLastWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	cp, _ := OpenCheckpoint(path, false)
+	cp.Record(3, "first", fakeResult{CPI: 1})
+	cp.Record(3, "second", fakeResult{CPI: 2})
+	cp.Close()
+
+	re, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", re.Len())
+	}
+	e, _ := re.Lookup(3)
+	if e.Label != "second" {
+		t.Fatalf("entry = %+v, want the last record to win", e)
+	}
+}
+
+// The intended integration shape: a sweep records through the onDone hook,
+// is interrupted, and the resumed run skips completed indices while the
+// merged checkpoint covers every job.
+func TestCheckpointWithRunTimedOpts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	cp, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First pass: only even jobs "complete" (odd ones fail).
+	RunTimedOpts(context.Background(), Options{Workers: 4}, 10,
+		func(_ context.Context, i int) (string, uint64, error) {
+			if i%2 == 1 {
+				return fmt.Sprintf("j%d", i), 0, fmt.Errorf("injected fault in job %d", i)
+			}
+			return fmt.Sprintf("j%d", i), 100, nil
+		},
+		func(i int, s Stat) {
+			if s.Err == "" {
+				if err := cp.Record(i, s.Label, fakeResult{Name: s.Label}); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	cp.Close()
+
+	re, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 5 {
+		t.Fatalf("first pass persisted %d entries, want 5", re.Len())
+	}
+	// Second pass: the resumed run short-circuits checkpointed indices (the
+	// cmd-layer pattern: reuse the persisted payload, simulate the rest).
+	var simulated int32
+	RunTimedOpts(context.Background(), Options{Workers: 4}, 10,
+		func(_ context.Context, i int) (string, uint64, error) {
+			if _, ok := re.Lookup(i); ok {
+				return fmt.Sprintf("j%d", i), 0, nil // reused, not re-simulated
+			}
+			atomic.AddInt32(&simulated, 1)
+			return fmt.Sprintf("j%d", i), 100, nil
+		},
+		func(i int, s Stat) {
+			if _, ok := re.Lookup(i); ok {
+				return
+			}
+			if s.Err == "" {
+				if err := re.Record(i, s.Label, fakeResult{Name: s.Label}); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	re.Close()
+	if simulated != 5 {
+		t.Fatalf("resumed run simulated %d jobs, want only the 5 missing ones", simulated)
+	}
+
+	final, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	if final.Len() != 10 {
+		t.Fatalf("merged checkpoint has %d entries, want all 10", final.Len())
+	}
+}

@@ -1,15 +1,27 @@
-// Package runner provides the shared bounded worker pool behind every
+// Package runner provides the shared supervised worker pool behind every
 // bulk-simulation front end (cmd/sweep, cmd/experiments, the experiment
 // library). Jobs are indexed 0..n-1 and write into caller-owned slots, so
 // results come back in deterministic index order no matter how the scheduler
-// interleaves them; the timed variant additionally records per-run wall time
-// and ingestion throughput for machine-readable benchmark output.
+// interleaves them.
+//
+// The pool is a supervisor, not just a semaphore: a job that panics is
+// recovered into a structured JobError instead of killing the process (one
+// crashed configuration in a thousand-point sweep must not take down the
+// other 999), cancellation of the run context stops feeding new jobs and is
+// forwarded to running jobs so they can stop cooperatively, per-job timeouts
+// bound runaway attempts, and errors marked Retryable are re-attempted with
+// exponential backoff. The timed variant additionally records per-run wall
+// time and ingestion throughput for machine-readable benchmark output.
 package runner
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -22,46 +34,237 @@ func Workers(requested int) int {
 	return max(1, runtime.GOMAXPROCS(0))
 }
 
-// Run executes job(0)..job(n-1) across a pool of at most workers goroutines.
-// Each job writes its own result slot, so the caller observes index-ordered
-// results regardless of scheduling. workers <= 1 (after clamping to n) runs
-// the jobs inline on the calling goroutine.
-func Run(workers, n int, job func(i int)) {
-	workers = min(Workers(workers), n)
+// JobError records one job that ultimately failed (after any retries).
+type JobError struct {
+	// Index is the job's 0..n-1 position.
+	Index int `json:"index"`
+	// Label identifies the job when the timed variant ran it.
+	Label string `json:"label,omitempty"`
+	// Attempts is how many times the job was tried.
+	Attempts int `json:"attempts"`
+	// Err is the final attempt's error (a *PanicError for recovered
+	// panics). Not serialized; Message carries its text.
+	Err error `json:"-"`
+	// Message is Err's text, kept for JSON round-trips.
+	Message string `json:"error"`
+}
+
+// Error implements the error interface.
+func (e *JobError) Error() string {
+	msg := e.Message
+	if e.Err != nil {
+		msg = e.Err.Error()
+	}
+	if e.Label != "" {
+		return fmt.Sprintf("job %d (%s): %s", e.Index, e.Label, msg)
+	}
+	return fmt.Sprintf("job %d: %s", e.Index, msg)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// PanicError is a job panic converted to an error by the supervisor.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", e.Value) }
+
+// retryableError marks a transient failure eligible for re-attempt.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// Retryable marks err as transient: the supervisor re-attempts jobs that
+// return retryable errors (up to Options.Retries times, with backoff).
+// Panics and plain errors are never retried — a deterministic simulator
+// failing twice the same way is a bug, not noise.
+func Retryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
+}
+
+// IsRetryable reports whether err (anywhere in its chain) was marked
+// Retryable.
+func IsRetryable(err error) bool {
+	var r *retryableError
+	return errors.As(err, &r)
+}
+
+// Options tunes a supervised pool run. The zero value means: GOMAXPROCS
+// workers, no per-job timeout, no retries.
+type Options struct {
+	// Workers bounds pool concurrency (<= 0 means GOMAXPROCS).
+	Workers int
+	// JobTimeout bounds each attempt (0 = unbounded). It is enforced
+	// cooperatively: the attempt's context is canceled at the deadline and
+	// the job is expected to observe it (the sim step loop polls its
+	// context periodically); the goroutine is never killed.
+	JobTimeout time.Duration
+	// Retries is the maximum number of re-attempts for jobs that return
+	// Retryable errors.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per further
+	// attempt. Waits end early when the run context is canceled.
+	Backoff time.Duration
+}
+
+// Run executes job(ctx, 0)..job(ctx, n-1) across a supervised pool of at
+// most `workers` goroutines and returns the failed jobs in index order
+// (empty when everything succeeded). Each job writes its own result slot,
+// so the caller observes index-ordered results regardless of scheduling;
+// workers <= 1 (after clamping to n) runs the jobs sequentially on the
+// calling goroutine. Once ctx is canceled no new job starts; jobs not yet
+// started are skipped silently (they are not failures), while already
+// running jobs see the cancellation through their context and report
+// whatever error they return.
+func Run(ctx context.Context, workers, n int, job func(ctx context.Context, i int) error) []JobError {
+	return RunOpts(ctx, Options{Workers: workers}, n, job)
+}
+
+// RunOpts is Run with full supervisor options.
+func RunOpts(ctx context.Context, opts Options, n int, job func(ctx context.Context, i int) error) []JobError {
+	return runSupervised(ctx, opts, n, job, nil)
+}
+
+// runSupervised is the shared supervisor core. onFinal, when non-nil, is
+// invoked exactly once per started job after its last attempt, serialized
+// under an internal lock (the checkpoint/report hook).
+func runSupervised(ctx context.Context, opts Options, n int, job func(ctx context.Context, i int) error,
+	onFinal func(i int, err error, attempts int)) []JobError {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	errs := make([]error, n)
+	attempts := make([]int, n)
+	var finalMu sync.Mutex
+	runOne := func(i int) {
+		errs[i], attempts[i] = runAttempts(ctx, opts, i, job)
+		if onFinal != nil {
+			finalMu.Lock()
+			onFinal(i, errs[i], attempts[i])
+			finalMu.Unlock()
+		}
+	}
+
+	workers := min(Workers(opts.Workers), n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			job(i)
+			if ctx.Err() != nil {
+				break
+			}
+			runOne(i)
 		}
-		return
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runOne(i)
+				}
+			}()
+		}
+		// The feeder must never block on a send forever: workers recover
+		// job panics (so they always come back for more work), and the
+		// select unblocks the send when the run is canceled mid-sweep.
+	feed:
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(next)
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				job(i)
+
+	var failed []JobError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		failed = append(failed, JobError{
+			Index:    i,
+			Attempts: attempts[i],
+			Err:      err,
+			Message:  err.Error(),
+		})
+	}
+	return failed
+}
+
+// runAttempts runs one job through the attempt/retry loop.
+func runAttempts(ctx context.Context, opts Options, i int, job func(ctx context.Context, i int) error) (error, int) {
+	maxAttempts := 1 + max(0, opts.Retries)
+	var err error
+	for a := 0; a < maxAttempts; a++ {
+		err = runOneAttempt(ctx, opts.JobTimeout, i, job)
+		if err == nil || !IsRetryable(err) || a == maxAttempts-1 || ctx.Err() != nil {
+			return err, a + 1
+		}
+		if opts.Backoff > 0 {
+			t := time.NewTimer(opts.Backoff << a)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return err, a + 1
+			case <-t.C:
+			}
+		}
+	}
+	return err, maxAttempts
+}
+
+// runOneAttempt runs a single attempt with panic recovery and the optional
+// per-attempt timeout.
+func runOneAttempt(ctx context.Context, timeout time.Duration, i int, job func(ctx context.Context, i int) error) error {
+	jctx := ctx
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		jctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Value: r, Stack: debug.Stack()}
 			}
 		}()
+		return job(jctx, i)
+	}()
+	if err != nil && errors.Is(jctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+		err = fmt.Errorf("attempt exceeded the %v job timeout: %w", timeout, err)
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	return err
 }
 
 // Stat records one timed job.
 type Stat struct {
 	// Label identifies the run (e.g. "mcf/BDW").
 	Label string `json:"label"`
-	// WallSeconds is the job's own wall-clock time.
+	// WallSeconds is the job's own wall-clock time, summed over attempts.
 	WallSeconds float64 `json:"wall_seconds"`
 	// Uops is the number of uops the job simulated (0 when not applicable).
 	Uops uint64 `json:"uops,omitempty"`
 	// UopsPerSec is Uops / WallSeconds (0 when Uops is 0).
 	UopsPerSec float64 `json:"uops_per_sec,omitempty"`
+	// Attempts is how often the job ran (0 = never started: the run was
+	// canceled before the pool reached it).
+	Attempts int `json:"attempts,omitempty"`
+	// Err is the final failure's text, empty on success.
+	Err string `json:"error,omitempty"`
 }
 
 // Report aggregates a timed pool run for benchmark output.
@@ -76,28 +279,66 @@ type Report struct {
 	UopsPerSec float64 `json:"uops_per_sec"`
 	// Jobs lists per-run stats in index order.
 	Jobs []Stat `json:"jobs"`
+	// Errors lists the jobs that failed, in index order (empty on a fully
+	// clean run).
+	Errors []JobError `json:"errors,omitempty"`
 }
 
-// RunTimed is Run with per-job instrumentation: job returns a label and the
-// number of uops it simulated, and the report carries wall time and
-// throughput per job and in aggregate, in index order.
-func RunTimed(workers, n int, job func(i int) (label string, uops uint64)) Report {
+// Failed reports whether any job ultimately failed.
+func (r *Report) Failed() bool { return len(r.Errors) > 0 }
+
+// RunTimed is Run with per-job instrumentation: job returns a label, the
+// number of uops it simulated and its error, and the report carries wall
+// time, throughput and failures per job and in aggregate, in index order.
+func RunTimed(ctx context.Context, workers, n int, job func(ctx context.Context, i int) (label string, uops uint64, err error)) Report {
+	return RunTimedOpts(ctx, Options{Workers: workers}, n, job, nil)
+}
+
+// RunTimedOpts is RunTimed with full supervisor options plus an optional
+// completion hook: onDone is invoked once per started job, after its final
+// attempt, serialized with respect to every other hook invocation — the
+// natural place to checkpoint completed results (cmd/sweep streams JSONL
+// through it). The Stat passed to the hook is final for that job.
+func RunTimedOpts(ctx context.Context, opts Options, n int, job func(ctx context.Context, i int) (label string, uops uint64, err error),
+	onDone func(i int, s Stat)) Report {
 	rep := Report{
-		Workers: min(Workers(workers), n),
+		Workers: min(Workers(opts.Workers), n),
 		Jobs:    make([]Stat, n),
 	}
+	var mu sync.Mutex
 	start := time.Now()
-	Run(workers, n, func(i int) {
+	wrapped := func(jctx context.Context, i int) error {
 		t0 := time.Now()
-		label, uops := job(i)
+		label, uops, err := job(jctx, i)
 		wall := time.Since(t0).Seconds()
-		s := Stat{Label: label, WallSeconds: wall, Uops: uops}
-		if uops > 0 && wall > 0 {
-			s.UopsPerSec = float64(uops) / wall
+		mu.Lock()
+		s := &rep.Jobs[i]
+		s.Label = label
+		s.Uops = uops
+		s.WallSeconds += wall
+		mu.Unlock()
+		return err
+	}
+	rep.Errors = runSupervised(ctx, opts, n, wrapped, func(i int, err error, attempts int) {
+		mu.Lock()
+		s := &rep.Jobs[i]
+		s.Attempts = attempts
+		if err != nil {
+			s.Err = err.Error()
 		}
-		rep.Jobs[i] = s
+		if s.Uops > 0 && s.WallSeconds > 0 {
+			s.UopsPerSec = float64(s.Uops) / s.WallSeconds
+		}
+		final := *s
+		mu.Unlock()
+		if onDone != nil {
+			onDone(i, final)
+		}
 	})
 	rep.WallSeconds = time.Since(start).Seconds()
+	for i := range rep.Errors {
+		rep.Errors[i].Label = rep.Jobs[rep.Errors[i].Index].Label
+	}
 	for _, s := range rep.Jobs {
 		rep.TotalUops += s.Uops
 	}

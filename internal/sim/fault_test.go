@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/faultinject"
+	"perfstacks/internal/runner"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+// materialize renders n generated uops into a slice so the same stream can
+// be replayed exactly — whole or as a clean prefix.
+func materialize(t *testing.T, name string, n int) []trace.Uop {
+	t.Helper()
+	p, ok := workload.SPECProfile(name)
+	if !ok {
+		t.Fatalf("unknown profile %s", name)
+	}
+	g := workload.NewGenerator(p)
+	uops := make([]trace.Uop, 0, n)
+	for len(uops) < n {
+		u, ok := g.Next()
+		if !ok {
+			t.Fatal("generator ended early")
+		}
+		uops = append(uops, u)
+	}
+	return uops
+}
+
+// stripErr clears the fields that legitimately differ between a faulted run
+// and its clean-prefix twin, leaving only the accounting to compare.
+func stripErr(r Result) Result {
+	r.Err = nil
+	r.Truncated = false
+	return r
+}
+
+// The central robustness property (ISSUE 4): for every wrong-path scheme ×
+// skip on/off, a mid-trace fault must (a) surface as Result.Err != nil and
+// (b) leave accounting identical to a clean run over the pre-fault prefix —
+// partial data is flagged, never silently different.
+func TestFaultMidTracePrefixProperty(t *testing.T) {
+	const total, faultAt = 40_000, 23_117
+	uops := materialize(t, "mcf", total)
+	m := config.BDW()
+
+	schemes := []core.WrongPathScheme{
+		core.WrongPathOracle, core.WrongPathSimple, core.WrongPathSpeculative,
+	}
+	for _, scheme := range schemes {
+		for _, noSkip := range []bool{false, true} {
+			name := fmt.Sprintf("%v/noskip=%v", scheme, noSkip)
+			t.Run(name, func(t *testing.T) {
+				opts := Options{CPI: true, FLOPS: true, Scheme: scheme, NoSkip: noSkip}
+
+				faulted := Run(m, faultinject.FailAfter(trace.NewSlice(uops), faultAt, nil), opts)
+				if faulted.Err == nil {
+					t.Fatal("mid-trace fault produced a nil Result.Err")
+				}
+				if !errors.Is(faulted.Err, faultinject.ErrInjected) {
+					t.Fatalf("Err = %v, want the injected fault in the chain", faulted.Err)
+				}
+				if faulted.Truncated {
+					t.Fatal("an injected stream fault is not a torn file; Truncated must stay false")
+				}
+
+				clean := Run(m, trace.NewSlice(uops[:faultAt]), opts)
+				if clean.Err != nil {
+					t.Fatalf("clean prefix run errored: %v", clean.Err)
+				}
+
+				if !reflect.DeepEqual(stripErr(faulted), stripErr(clean)) {
+					t.Errorf("accounting diverges from the clean prefix run:\nfaulted: %+v\nclean:   %+v",
+						stripErr(faulted), stripErr(clean))
+				}
+			})
+		}
+	}
+}
+
+// A fault at uop 0 still yields a well-formed (all-zero) result plus an
+// error — the degenerate end of the prefix property.
+func TestFaultAtStart(t *testing.T) {
+	m := config.BDW()
+	res := Run(m, faultinject.FailAfter(trace.NewSlice(nil), 0, nil), Default())
+	if res.Err == nil {
+		t.Fatal("want an error from an immediately-faulting trace")
+	}
+	if res.Stats.Committed != 0 {
+		t.Fatalf("committed %d uops from a dead trace", res.Stats.Committed)
+	}
+}
+
+// A torn trace file surfaces as Err + Truncated through the whole stack:
+// bytes → FileReader → batched frontend → Result.
+func TestTornFileSetsTruncated(t *testing.T) {
+	uops := materialize(t, "mcf", 500)
+	data := encodeTrace(t, uops)
+	torn := data[:len(data)-13] // cut mid-record
+
+	fr, err := trace.NewFileReader(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(config.BDW(), fr, Default())
+	if res.Err == nil || !res.Truncated {
+		t.Fatalf("torn file: Err=%v Truncated=%v, want error with Truncated set", res.Err, res.Truncated)
+	}
+	if !errors.Is(res.Err, trace.ErrTruncated) {
+		t.Fatalf("Err = %v, want trace.ErrTruncated in the chain", res.Err)
+	}
+}
+
+// Cancellation mid-run yields ErrCanceled, and stats cover only the executed
+// prefix.
+func TestCancellationSetsErrCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the first poll: the run stops at the first check
+	opts := Default()
+	opts.Context = ctx
+	res := Run(config.BDW(), trace.NewLimit(workload.NewGenerator(mustProf(t, "mcf")), 200_000), opts)
+	if !errors.Is(res.Err, ErrCanceled) {
+		t.Fatalf("Err = %v, want ErrCanceled", res.Err)
+	}
+	if res.Truncated {
+		t.Fatal("cancellation is not truncation")
+	}
+}
+
+func TestSMPFaultPinsCore(t *testing.T) {
+	uops := materialize(t, "mcf", 30_000)
+	const n, faultCore = 2, 1
+	res := RunSMP(config.BDW(), n, func(tid int) trace.Reader {
+		if tid == faultCore {
+			return faultinject.FailAfter(trace.NewSlice(uops), 10_000, nil)
+		}
+		return trace.NewSlice(uops)
+	}, Options{CPI: true})
+	if res.Err == nil {
+		t.Fatal("SMP run with one faulted thread must report an error")
+	}
+	if res.PerCoreErr[0] != nil {
+		t.Fatalf("healthy core 0 reported %v", res.PerCoreErr[0])
+	}
+	if !errors.Is(res.PerCoreErr[faultCore], faultinject.ErrInjected) {
+		t.Fatalf("core %d error = %v", faultCore, res.PerCoreErr[faultCore])
+	}
+}
+
+// Acceptance shape (ISSUE 4): a 32-job sweep with one poisoned trace ends
+// with exactly one JobError while every other configuration completes.
+func TestPoisonedSweepIsolatesFailure(t *testing.T) {
+	uops := materialize(t, "mcf", 20_000)
+	m := config.BDW()
+	const jobs, poisoned = 32, 17
+	results := make([]Result, jobs)
+	failed := runner.Run(context.Background(), 4, jobs, func(_ context.Context, i int) error {
+		var tr trace.Reader = trace.NewSlice(uops)
+		if i == poisoned {
+			tr = faultinject.FailAfter(trace.NewSlice(uops), 5_000, nil)
+		}
+		results[i] = Run(m, tr, Default())
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+		return nil
+	})
+	if len(failed) != 1 || failed[0].Index != poisoned {
+		t.Fatalf("failures = %v, want exactly job %d", failed, poisoned)
+	}
+	if !errors.Is(failed[0].Err, faultinject.ErrInjected) {
+		t.Fatalf("failure cause = %v", failed[0].Err)
+	}
+	for i, r := range results {
+		if i == poisoned {
+			continue
+		}
+		if r.Err != nil || r.Stats.Committed == 0 {
+			t.Fatalf("healthy job %d: err=%v committed=%d", i, r.Err, r.Stats.Committed)
+		}
+	}
+}
+
+func mustProf(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	p, ok := workload.SPECProfile(name)
+	if !ok {
+		t.Fatalf("unknown profile %s", name)
+	}
+	return p
+}
+
+// encodeTrace renders uops to the binary format.
+func encodeTrace(t *testing.T, uops []trace.Uop) []byte {
+	t.Helper()
+	var buf writerBuf
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range uops {
+		if err := w.Write(&uops[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.b
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }

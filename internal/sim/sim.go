@@ -6,6 +6,10 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"perfstacks/internal/bpred"
 	"perfstacks/internal/cache"
 	"perfstacks/internal/config"
@@ -39,6 +43,10 @@ type Options struct {
 	// either way (see TestSkipEquivalence); the flag exists as a debugging
 	// escape hatch and for measuring the skipping speedup.
 	NoSkip bool
+	// Context, when non-nil, lets the run be canceled cooperatively: the
+	// step loop polls it every few thousand steps (off the per-cycle hot
+	// path) and a canceled run returns with Result.Err wrapping ErrCanceled.
+	Context context.Context
 }
 
 // Default measures multi-stage CPI stacks with oracle wrong-path handling on
@@ -67,6 +75,15 @@ type Result struct {
 	Stats cpu.Stats
 	// Bpred is the branch predictor statistics.
 	Bpred bpred.Stats
+	// Err is non-nil when the run ended abnormally: the trace reader
+	// reported a stream fault after draining (trace.ErrOf), or the run was
+	// canceled (wrapping ErrCanceled). The stacks and statistics then cover
+	// only the uops delivered before the fault — plausible-looking but
+	// partial data — and must not be reported as a complete measurement.
+	Err error
+	// Truncated is set when Err stems from a torn trace file
+	// (trace.ErrTruncated): the input was cut short rather than malformed.
+	Truncated bool
 }
 
 // CPIOf is the run's measured CPI: post-warmup when CPI stacks were
@@ -84,6 +101,24 @@ func newPredictor(m config.Machine) bpred.Predictor {
 		return bpred.Perfect{}
 	}
 	return bpred.NewTournament(m.Bpred)
+}
+
+// ErrCanceled marks a run stopped early through Options.Context. Test with
+// errors.Is; the wrapped chain carries the context's own cause.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// runErr derives the Result error contract for one finished core run:
+// cancellation first (the trace state is then unknowable), a reader stream
+// fault otherwise, nil for a clean end of trace.
+func runErr(tr trace.Reader, canceled bool, ctx context.Context, committed uint64) (err error, truncated bool) {
+	if canceled {
+		return fmt.Errorf("%w after %d committed uops: %w", ErrCanceled, committed, ctx.Err()), false
+	}
+	if terr := trace.ErrOf(tr); terr != nil {
+		return fmt.Errorf("sim: trace ended abnormally after %d committed uops: %w", committed, terr),
+			errors.Is(terr, trace.ErrTruncated)
+	}
+	return nil, false
 }
 
 // Run simulates tr on machine m and returns the measurements.
@@ -105,6 +140,9 @@ func RunCustom(m config.Machine, tr trace.Reader, opts Options, acctOpts core.Op
 	pred := newPredictor(m)
 	c := cpu.New(m.Core, hier, pred, tr)
 	c.SetNoSkip(opts.NoSkip)
+	if opts.Context != nil {
+		c.SetContext(opts.Context)
+	}
 
 	var cpiAcct *core.MultiStageAccountant
 	if opts.CPI {
@@ -136,6 +174,7 @@ func RunCustom(m config.Machine, tr trace.Reader, opts Options, acctOpts core.Op
 	stats := c.Run()
 
 	res := Result{Machine: m.Name, Stats: stats}
+	res.Err, res.Truncated = runErr(tr, c.Canceled(), opts.Context, stats.Committed)
 	if cpiAcct != nil {
 		// Finalize with the accountant's own post-warmup commit count.
 		res.Stacks = cpiAcct.Finalize(0)
@@ -168,6 +207,11 @@ type SMPResult struct {
 	FLOPS core.FLOPSStack
 	// PerCore holds per-core pipeline statistics.
 	PerCore []cpu.Stats
+	// Err is non-nil when any thread's trace faulted or the gang was
+	// canceled (the first error in core order; the aggregated stacks then
+	// hold partial data). PerCoreErr pins each fault to its thread.
+	Err        error
+	PerCoreErr []error
 }
 
 // TotalFLOPs sums FLOPs over all cores.
@@ -205,12 +249,14 @@ func RunSMP(m config.Machine, n int, makeTrace func(tid int) trace.Reader, opts 
 	sharedL3 := cache.New(l3cfg, cache.MemLevel(sharedMem))
 
 	cores := make([]*cpu.Core, n)
+	traces := make([]trace.Reader, n)
 	cpiAccts := make([]*core.MultiStageAccountant, n)
 	flopsAccts := make([]*core.FLOPSAccountant, n)
 	for i := 0; i < n; i++ {
 		hier := cache.NewHierarchyShared(m.Hierarchy, sharedL3)
 		pred := newPredictor(m)
-		c := cpu.New(m.Core, hier, pred, makeTrace(i))
+		traces[i] = makeTrace(i)
+		c := cpu.New(m.Core, hier, pred, traces[i])
 		// Skipping is implicitly disabled in SMP runs (the barrier waiter
 		// forces lockstep stepping); mirror the option anyway for clarity.
 		c.SetNoSkip(opts.NoSkip)
@@ -230,11 +276,22 @@ func RunSMP(m config.Machine, n int, makeTrace func(tid int) trace.Reader, opts 
 	}
 
 	smp := cpu.NewSMP(cores)
+	if opts.Context != nil {
+		smp.SetContext(opts.Context)
+	}
 	smp.Run()
 
-	res := SMPResult{Machine: m.Name, PerCore: make([]cpu.Stats, n)}
+	res := SMPResult{
+		Machine:    m.Name,
+		PerCore:    make([]cpu.Stats, n),
+		PerCoreErr: make([]error, n),
+	}
 	for i, c := range cores {
 		res.PerCore[i] = c.Stats
+		res.PerCoreErr[i], _ = runErr(traces[i], smp.Canceled(), opts.Context, c.Stats.Committed)
+		if res.Err == nil && res.PerCoreErr[i] != nil {
+			res.Err = fmt.Errorf("sim: core %d: %w", i, res.PerCoreErr[i])
+		}
 	}
 	if opts.CPI {
 		stacks := make([][]core.Stack, core.NumStages)

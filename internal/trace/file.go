@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -40,11 +41,22 @@ const (
 	flagWrongPath = 1 << 1
 )
 
-// Writer streams uops into a trace file.
+// ErrTruncated marks a trace file whose length is not 8 + 64·n: the stream
+// ended inside a record (or inside the header). A truncated file means the
+// capture or a copy was cut short — the complete records before the tear are
+// bit-exact, but the trace as a whole must not be mistaken for a shorter
+// clean one. Test with errors.Is(err, ErrTruncated).
+var ErrTruncated = errors.New("truncated trace (partial record)")
+
+// Writer streams uops into a trace file. Write errors are sticky: the first
+// failure is retained and re-reported by every subsequent Write and by
+// Flush, so a caller that only checks Flush (or Copy's single error return)
+// still observes a mid-stream failure.
 type Writer struct {
 	w     *bufio.Writer
 	buf   [recordSize]byte
 	count uint64
+	err   error
 }
 
 // NewWriter writes the header and returns a Writer. Call Flush when done.
@@ -58,6 +70,9 @@ func NewWriter(w io.Writer) (*Writer, error) {
 
 // Write appends one uop record.
 func (tw *Writer) Write(u *Uop) error {
+	if tw.err != nil {
+		return tw.err
+	}
 	b := tw.buf[:]
 	binary.LittleEndian.PutUint64(b[0:], u.Seq)
 	binary.LittleEndian.PutUint64(b[8:], u.PC)
@@ -80,7 +95,8 @@ func (tw *Writer) Write(u *Uop) error {
 	b[60] = u.MicrocodeCycles
 	b[61], b[62], b[63] = 0, 0, 0
 	if _, err := tw.w.Write(b); err != nil {
-		return fmt.Errorf("trace: writing record %d: %w", tw.count, err)
+		tw.err = fmt.Errorf("trace: writing record %d: %w", tw.count, err)
+		return tw.err
 	}
 	tw.count++
 	return nil
@@ -89,8 +105,20 @@ func (tw *Writer) Write(u *Uop) error {
 // Count returns the number of records written.
 func (tw *Writer) Count() uint64 { return tw.count }
 
-// Flush drains buffered records to the underlying writer.
-func (tw *Writer) Flush() error { return tw.w.Flush() }
+// Flush drains buffered records to the underlying writer. It returns the
+// first deferred write error: a failure bufio absorbed during an earlier
+// Write (or a previous Flush) is reported here even if the final drain
+// succeeds, so "Flush returned nil" really means every record landed.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if err := tw.w.Flush(); err != nil {
+		tw.err = fmt.Errorf("trace: flushing after record %d: %w", tw.count, err)
+		return tw.err
+	}
+	return nil
+}
 
 // FileReader replays a trace file; it implements Reader and BatchReader.
 type FileReader struct {
@@ -106,6 +134,11 @@ func NewFileReader(r io.Reader) (*FileReader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// Shorter than the 8-byte header: a torn copy, not a different
+			// format.
+			return nil, fmt.Errorf("trace: reading header: %w", ErrTruncated)
+		}
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
 	if hdr != fileMagic {
@@ -138,7 +171,10 @@ func (fr *FileReader) Next() (Uop, bool) {
 		return Uop{}, false
 	}
 	if _, err := io.ReadFull(fr.r, fr.buf[:]); err != nil {
-		if err != io.EOF {
+		if err == io.ErrUnexpectedEOF {
+			// Partial final record: file length is not 8 + 64·n.
+			fr.err = fmt.Errorf("trace: record %d: %w", fr.seen, ErrTruncated)
+		} else if err != io.EOF {
 			fr.err = fmt.Errorf("trace: record %d: %w", fr.seen, err)
 		}
 		return Uop{}, false
@@ -171,7 +207,7 @@ func (fr *FileReader) ReadBatch(dst []Uop) int {
 		fr.err = fmt.Errorf("trace: record %d: %w", fr.seen, err)
 	} else if got%recordSize != 0 {
 		// Partial trailing record: the same truncation Next reports.
-		fr.err = fmt.Errorf("trace: record %d: %w", fr.seen, io.ErrUnexpectedEOF)
+		fr.err = fmt.Errorf("trace: record %d: %w", fr.seen, ErrTruncated)
 	}
 	return n
 }
@@ -184,7 +220,9 @@ func (fr *FileReader) Err() error { return fr.err }
 func (fr *FileReader) Count() uint64 { return fr.seen }
 
 // Copy materializes up to n uops from r into w (n == 0 copies everything r
-// yields). It returns the number of uops copied.
+// yields). It returns the number of uops copied. A source reader that
+// faulted mid-stream (ErrOf) poisons the copy: the error is returned so a
+// truncated input cannot silently become a shorter, clean-looking output.
 func Copy(w *Writer, r Reader, n uint64) (uint64, error) {
 	var copied uint64
 	for n == 0 || copied < n {
@@ -196,6 +234,9 @@ func Copy(w *Writer, r Reader, n uint64) (uint64, error) {
 			return copied, err
 		}
 		copied++
+	}
+	if err := ErrOf(r); err != nil {
+		return copied, fmt.Errorf("trace: copy source failed after %d uops: %w", copied, err)
 	}
 	return copied, w.Flush()
 }

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzRecordDecode exercises the 64-byte record decoder on arbitrary bytes.
+// decodeRecord must never panic, and decoding must be stable: re-encoding
+// the decoded uop and decoding again yields the identical uop (the encoder
+// normalizes only the bits the format does not carry — reserved bytes and
+// undefined flag bits).
+func FuzzRecordDecode(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, u := range sampleUops() {
+		if err := w.Write(&u); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	raw := buf.Bytes()[8:]
+	for i := 0; i+recordSize <= len(raw); i += recordSize {
+		f.Add(raw[i : i+recordSize])
+	}
+	f.Add(make([]byte, recordSize))
+	f.Add(bytes.Repeat([]byte{0xff}, recordSize))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) < recordSize {
+			t.Skip()
+		}
+		var u Uop
+		decodeRecord(b[:recordSize], &u)
+
+		// Round-trip through the writer: the decoded view is a fixed point.
+		var out bytes.Buffer
+		tw, err := NewWriter(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.Write(&u); err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var back Uop
+		decodeRecord(out.Bytes()[8:], &back)
+		if back != u {
+			t.Fatalf("decode not stable:\n first %+v\nsecond %+v", u, back)
+		}
+	})
+}
+
+// FuzzFileReader feeds arbitrary bytes to the trace file reader and checks
+// the whole error contract: no panic on any input, every complete record is
+// delivered, a file whose length is not 8 + 64·n ends in ErrTruncated, and a
+// well-formed file ends cleanly. Scalar and batched draining must agree.
+func FuzzFileReader(f *testing.F) {
+	mkValid := func(n int) []byte {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for i, u := range sampleUops() {
+			if i >= n {
+				break
+			}
+			w.Write(&u)
+		}
+		w.Flush()
+		return buf.Bytes()
+	}
+	f.Add(mkValid(5))
+	f.Add(mkValid(0))
+	f.Add(mkValid(5)[:8+recordSize+13]) // torn record
+	f.Add(mkValid(1)[:5])               // torn header
+	f.Add([]byte("NOTATRACEFILE...xxxxxxxx"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		drain := func(batched bool) (int, error) {
+			r, err := NewFileReader(bytes.NewReader(data))
+			if err != nil {
+				return -1, err
+			}
+			got := 0
+			if batched {
+				dst := make([]Uop, 7)
+				for {
+					n := r.ReadBatch(dst)
+					if n == 0 {
+						break
+					}
+					got += n
+				}
+			} else {
+				for {
+					if _, ok := r.Next(); !ok {
+						break
+					}
+					got++
+				}
+			}
+			return got, r.Err()
+		}
+
+		nScalar, errScalar := drain(false)
+		nBatch, errBatch := drain(true)
+		if nScalar != nBatch || (errScalar == nil) != (errBatch == nil) {
+			t.Fatalf("scalar/batch disagree: (%d,%v) vs (%d,%v)", nScalar, errScalar, nBatch, errBatch)
+		}
+
+		switch {
+		case len(data) < 8 || !bytes.Equal(data[:8], fileMagic[:]):
+			if nScalar != -1 {
+				t.Fatalf("bad header accepted (%d records)", nScalar)
+			}
+			if len(data) < 8 && !errors.Is(errScalar, ErrTruncated) {
+				t.Fatalf("short header: err = %v, want ErrTruncated", errScalar)
+			}
+		default:
+			body := len(data) - 8
+			if want := body / recordSize; nScalar != want {
+				t.Fatalf("delivered %d records, want %d", nScalar, want)
+			}
+			if body%recordSize == 0 {
+				if errScalar != nil {
+					t.Fatalf("well-formed file: err = %v", errScalar)
+				}
+			} else if !errors.Is(errScalar, ErrTruncated) {
+				t.Fatalf("file length 8+%d: err = %v, want ErrTruncated", body, errScalar)
+			}
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// validTraceBytes materializes n sample-derived uops into file-format bytes.
+func validTraceBytes(t testing.TB, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := sampleUops()
+	for i := 0; i < n; i++ {
+		u := samples[i%len(samples)]
+		u.Seq = uint64(i)
+		if err := w.Write(&u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Every file length that is not 8 + 64·n must surface as ErrTruncated —
+// distinctly, so callers can tell a torn copy from a bit-flipped header or
+// an I/O fault — on both the scalar and the batched read path.
+func TestErrTruncatedDistinct(t *testing.T) {
+	full := validTraceBytes(t, 5)
+	for _, cut := range []int{1, recordSize - 1, recordSize + 7, 3 * recordSize / 2} {
+		data := full[:len(full)-cut]
+		wantRecords := (len(data) - 8) / recordSize
+
+		t.Run(fmt.Sprintf("next/cut=%d", cut), func(t *testing.T) {
+			r, err := NewFileReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := 0
+			for {
+				if _, ok := r.Next(); !ok {
+					break
+				}
+				got++
+			}
+			if got != wantRecords {
+				t.Fatalf("delivered %d complete records, want %d", got, wantRecords)
+			}
+			if !errors.Is(r.Err(), ErrTruncated) {
+				t.Fatalf("Err = %v, want ErrTruncated", r.Err())
+			}
+		})
+
+		t.Run(fmt.Sprintf("batch/cut=%d", cut), func(t *testing.T) {
+			r, err := NewFileReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]Uop, 8)
+			got := 0
+			for {
+				n := r.ReadBatch(dst)
+				if n == 0 {
+					break
+				}
+				got += n
+			}
+			if got != wantRecords {
+				t.Fatalf("delivered %d complete records, want %d", got, wantRecords)
+			}
+			if !errors.Is(r.Err(), ErrTruncated) {
+				t.Fatalf("Err = %v, want ErrTruncated", r.Err())
+			}
+		})
+	}
+}
+
+func TestTruncatedHeaderIsErrTruncated(t *testing.T) {
+	for cut := 1; cut < 8; cut++ {
+		_, err := NewFileReader(bytes.NewReader(fileMagic[:8-cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("header cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+	// A full header with the wrong magic is a format error, not truncation.
+	if _, err := NewFileReader(bytes.NewReader([]byte("NOTATRACE"))); errors.Is(err, ErrTruncated) {
+		t.Fatalf("bad magic misclassified as truncation: %v", err)
+	}
+}
+
+func TestCleanEOFIsNotAnError(t *testing.T) {
+	data := validTraceBytes(t, 3)
+	r, err := NewFileReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("clean EOF: Err = %v", r.Err())
+	}
+}
+
+// failAfterWriter fails every write once n bytes have been accepted.
+type failAfterWriter struct {
+	n    int
+	seen int
+}
+
+var errDisk = errors.New("disk full")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.seen+len(p) > w.n {
+		accepted := w.n - w.seen
+		if accepted < 0 {
+			accepted = 0
+		}
+		w.seen = w.n
+		return accepted, errDisk
+	}
+	w.seen += len(p)
+	return len(p), nil
+}
+
+// A write error absorbed by the buffer must come back out of Flush, and the
+// writer must stay poisoned: later Writes and Flushes report the same first
+// failure instead of pretending to recover.
+func TestWriterFlushReturnsDeferredWriteError(t *testing.T) {
+	// Accept the header plus one record, then fail. The bufio buffer is 64
+	// KiB, so Write calls succeed silently; Flush meets the error.
+	w, err := NewWriter(&failAfterWriter{n: 8 + recordSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := sampleUops()[0]
+	for i := 0; i < 4; i++ {
+		if err := w.Write(&u); err != nil {
+			t.Fatalf("buffered write %d should succeed: %v", i, err)
+		}
+	}
+	first := w.Flush()
+	if !errors.Is(first, errDisk) {
+		t.Fatalf("Flush = %v, want the deferred disk error", first)
+	}
+	if err := w.Flush(); !errors.Is(err, errDisk) || err.Error() != first.Error() {
+		t.Fatalf("second Flush = %v, want the same first error", err)
+	}
+	if err := w.Write(&u); !errors.Is(err, errDisk) {
+		t.Fatalf("Write after failure = %v, want sticky error", err)
+	}
+}
+
+func TestWriterWriteErrorIsSticky(t *testing.T) {
+	// Fail during the header-sized budget so a mid-stream Write sees the
+	// error directly (bufio fills up at 64 KiB: 1024 records).
+	w, err := NewWriter(&failAfterWriter{n: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := sampleUops()[0]
+	var first error
+	for i := 0; i < 2000 && first == nil; i++ {
+		first = w.Write(&u)
+	}
+	if !errors.Is(first, errDisk) {
+		t.Fatalf("expected a write failure, got %v", first)
+	}
+	if err := w.Flush(); !errors.Is(err, errDisk) {
+		t.Fatalf("Flush after failed Write = %v, want the first error", err)
+	}
+}
+
+// The deferred error must survive any wrapper stack the simulator composes.
+func TestErrOfPropagatesThroughWrappers(t *testing.T) {
+	data := validTraceBytes(t, 4)
+	data = data[:len(data)-5] // tear the final record
+	fr, err := NewFileReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Reader = &Counter{R: NewLimit(AsBatch(fr), 100)}
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if !errors.Is(ErrOf(r), ErrTruncated) {
+		t.Fatalf("ErrOf through Counter(Limit(AsBatch(FileReader))) = %v, want ErrTruncated", ErrOf(r))
+	}
+}
+
+func TestErrOfNilForCleanReaders(t *testing.T) {
+	if err := ErrOf(NewSlice(make([]Uop, 3))); err != nil {
+		t.Fatalf("Slice ErrOf = %v", err)
+	}
+	if err := ErrOf(NewLimit(NewSlice(nil), 5)); err != nil {
+		t.Fatalf("Limit ErrOf = %v", err)
+	}
+}
+
+func TestCopyPropagatesSourceError(t *testing.T) {
+	data := validTraceBytes(t, 3)
+	data = data[:len(data)-9]
+	fr, err := NewFileReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	w, err := NewWriter(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Copy(w, fr, 0)
+	if n != 2 {
+		t.Fatalf("copied %d complete records, want 2", n)
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Copy from truncated source = %v, want ErrTruncated", err)
+	}
+}
+
+// errReader always fails, standing in for a flaky device.
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
+
+func TestFileReaderSurfacesIOErrors(t *testing.T) {
+	ioErr := errors.New("input/output error")
+	r, err := NewFileReader(io.MultiReader(bytes.NewReader(validTraceBytes(t, 2)), errReader{ioErr}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		got++
+	}
+	if got != 2 {
+		t.Fatalf("delivered %d records before the fault, want 2", got)
+	}
+	if !errors.Is(r.Err(), ioErr) {
+		t.Fatalf("Err = %v, want the device error", r.Err())
+	}
+	if errors.Is(r.Err(), ErrTruncated) {
+		t.Fatal("device error misclassified as truncation")
+	}
+}

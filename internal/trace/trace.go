@@ -157,6 +157,34 @@ type Reader interface {
 	Next() (u Uop, ok bool)
 }
 
+// ErrReader is a Reader that can report why its stream ended. Next (and
+// ReadBatch) signal end-of-stream in-band with ok=false / n=0; Err
+// disambiguates a clean end of trace (nil) from a fault — a truncated file,
+// a decode failure, an I/O error. The contract is sticky and deferred: once
+// the stream has ended, Err must return the same value on every call, and a
+// consumer that drains a reader to end-of-stream MUST check Err before
+// trusting the data it read (the errcheckerr simlint analyzer enforces this
+// for non-test code). Readers whose streams cannot fail (in-memory slices,
+// synthetic generators) implement Err by returning nil, so the check is
+// uniform across every source.
+type ErrReader interface {
+	Reader
+	// Err returns the fault that ended the stream, or nil after a clean end
+	// of trace (or while the stream is still live).
+	Err() error
+}
+
+// ErrOf returns r's deferred stream error: r.Err() when r reports errors,
+// nil for readers that predate (or don't need) the ErrReader contract.
+// Wrapper readers delegate their own Err to ErrOf of the wrapped reader, so
+// the error propagates through arbitrarily deep reader stacks.
+func ErrOf(r Reader) error {
+	if er, ok := r.(ErrReader); ok {
+		return er.Err()
+	}
+	return nil
+}
+
 // BatchReader is a Reader that can also deliver uops in bulk, amortizing
 // per-uop interface dispatch and internal bookkeeping across a batch. The
 // uop stream delivered through ReadBatch must be bit-identical to the stream
@@ -187,6 +215,9 @@ type scalarBatch struct{ r Reader }
 
 // Next implements Reader by delegating to the wrapped reader.
 func (a *scalarBatch) Next() (Uop, bool) { return a.r.Next() }
+
+// Err implements ErrReader by delegating to the wrapped reader.
+func (a *scalarBatch) Err() error { return ErrOf(a.r) }
 
 // ReadBatch implements BatchReader by looping the wrapped reader's Next.
 func (a *scalarBatch) ReadBatch(dst []Uop) int {
@@ -244,6 +275,9 @@ func (s *Slice) ReadBatch(dst []Uop) int {
 // Reset rewinds the slice so it can be replayed.
 func (s *Slice) Reset() { s.pos = 0 }
 
+// Err implements ErrReader: an in-memory trace cannot fail.
+func (s *Slice) Err() error { return nil }
+
 // Limit wraps a Reader and truncates it after n uops.
 type Limit struct {
 	R    Reader
@@ -293,6 +327,11 @@ func (l *Limit) ReadBatch(dst []Uop) int {
 	return n
 }
 
+// Err implements ErrReader. A limit that ends because its budget ran out is
+// a clean end of stream; a wrapped reader that faulted before the budget was
+// reached still surfaces its error.
+func (l *Limit) Err() error { return ErrOf(l.R) }
+
 // Counter wraps a Reader and counts uops and FLOPs as they stream by.
 type Counter struct {
 	R     Reader
@@ -331,3 +370,6 @@ func (c *Counter) ReadBatch(dst []Uop) int {
 	}
 	return n
 }
+
+// Err implements ErrReader by delegating to the wrapped reader.
+func (c *Counter) Err() error { return ErrOf(c.R) }

@@ -203,6 +203,9 @@ func (g *Gemm) Next() (trace.Uop, bool) {
 	return u, true
 }
 
+// Err implements trace.ErrReader: a synthetic kernel cannot fail.
+func (g *Gemm) Err() error { return nil }
+
 // gen produces one uop of the kernel's steady-state loop.
 func (g *Gemm) gen() trace.Uop {
 	if g.barrierN > 0 {
@@ -533,6 +536,9 @@ func (c *Conv) Next() (trace.Uop, bool) {
 	c.seq++
 	return u, true
 }
+
+// Err implements trace.ErrReader: a synthetic kernel cannot fail.
+func (c *Conv) Err() error { return nil }
 
 func (c *Conv) gen() trace.Uop {
 	if c.barrierN > 0 {

@@ -254,6 +254,9 @@ func (g *Generator) ReadBatch(dst []trace.Uop) int {
 	return len(dst)
 }
 
+// Err implements trace.ErrReader: a synthetic generator cannot fail.
+func (g *Generator) Err() error { return nil }
+
 func (g *Generator) gen(u *trace.Uop) {
 	// Barrier insertion at block boundaries.
 	if g.p.BarrierEvery > 0 && g.sinceBarrier >= g.p.BarrierEvery && g.blockPos == 0 {
