@@ -15,8 +15,6 @@ import (
 	"os"
 
 	"perfstacks/internal/config"
-	"perfstacks/internal/core"
-	"perfstacks/internal/cpu"
 	"perfstacks/internal/experiments"
 	"perfstacks/internal/export"
 	"perfstacks/internal/sim"
@@ -56,18 +54,11 @@ func main() {
 		fatal(fmt.Errorf("unknown workload %q (use -list)", *wl))
 	}
 	opts := sim.Default()
-	switch *scheme {
-	case "oracle":
-		opts.Scheme = core.WrongPathOracle
-	case "simple":
-		opts.Scheme = core.WrongPathSimple
-	case "speculative":
-		opts.Scheme = core.WrongPathSpeculative
-	default:
-		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	if opts.Scheme, err = sim.ParseScheme(*scheme); err != nil {
+		fatal(err)
 	}
-	if *wrongpath == "synth" {
-		opts.WrongPath = cpu.WrongPathSynth
+	if opts.WrongPath, err = sim.ParseWrongPathMode(*wrongpath); err != nil {
+		fatal(err)
 	}
 	opts.MemDepth = *memdepth
 	opts.Structural = *structural

@@ -31,6 +31,7 @@ import (
 	"syscall"
 
 	"perfstacks/internal/experiments"
+	"perfstacks/internal/resultcache"
 	"perfstacks/internal/runner"
 )
 
@@ -43,6 +44,7 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "write per-experiment wall-time stats as JSON to this file (- for stderr)")
 	ckptPath := flag.String("checkpoint", "", "persist each completed experiment's output as a JSONL line in this file")
 	resume := flag.Bool("resume", false, "reload -checkpoint and skip already-completed experiments")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (shared with simd and sweep)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -92,6 +94,13 @@ func main() {
 	}
 	spec.Parallelism = *par
 	spec.Ctx = ctx
+	if *cacheDir != "" {
+		disk, err := resultcache.NewDisk(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Cache = resultcache.New(resultcache.NewMemory(64<<20), disk)
+	}
 
 	all := map[string]func() string{
 		"tableI":    func() string { return experiments.TableI(spec).Render() },

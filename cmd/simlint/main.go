@@ -1,7 +1,7 @@
-// Command simlint is the repo's invariant multichecker. It bundles the six
-// analyzers of internal/analyzers (enumexhaustive, repeataware, batchingest,
-// determinism, acctencapsulation, errcheckerr) behind the two driver modes
-// of internal/analysis:
+// Command simlint is the repo's invariant multichecker. It bundles the
+// seven analyzers of internal/analyzers (enumexhaustive, repeataware,
+// batchingest, determinism, acctencapsulation, errcheckerr, handlerctx)
+// behind the two driver modes of internal/analysis:
 //
 //	simlint ./...                           standalone, over go list patterns
 //	go vet -vettool=$(pwd)/simlint ./...    as a vet tool (analyzes tests too)

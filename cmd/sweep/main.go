@@ -31,6 +31,7 @@ import (
 
 	"perfstacks/internal/config"
 	"perfstacks/internal/export"
+	"perfstacks/internal/resultcache"
 	"perfstacks/internal/runner"
 	"perfstacks/internal/sim"
 	"perfstacks/internal/trace"
@@ -45,10 +46,20 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "write per-run wall-time/throughput stats as JSON to this file (- for stderr)")
 	ckptPath := flag.String("checkpoint", "", "persist each completed run as a JSONL line in this file")
 	resume := flag.Bool("resume", false, "reload -checkpoint and skip already-completed runs")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (shared with simd and experiments)")
 	flag.Parse()
 
 	if *resume && *ckptPath == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+
+	var cache *resultcache.Cache
+	if *cacheDir != "" {
+		disk, err := resultcache.NewDisk(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cache = resultcache.New(resultcache.NewMemory(64<<20), disk)
 	}
 
 	var ms []config.Machine
@@ -122,7 +133,12 @@ func main() {
 			opts := sim.Default()
 			opts.WarmupUops = *warm
 			opts.Context = jctx
-			res := sim.Run(j.m, trace.NewLimit(workload.NewGenerator(j.prof), *warm+*uops), opts)
+			var res sim.Result
+			if cache != nil {
+				res, _ = resultcache.RunSPEC(cache, j.m, j.prof, *warm+*uops, opts)
+			} else {
+				res = sim.Run(j.m, trace.NewLimit(workload.NewGenerator(j.prof), *warm+*uops), opts)
+			}
 			if res.Err != nil {
 				return label, 0, res.Err
 			}

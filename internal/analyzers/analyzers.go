@@ -1,4 +1,4 @@
-// Package analyzers holds the simlint suite: six static-analysis passes
+// Package analyzers holds the simlint suite: seven static-analysis passes
 // that machine-check the accounting core's structural invariants — the
 // conventions that make every CPI/FLOPS stack sum exactly to total cycles —
 // the simulator's hot-path performance contracts, and its error-propagation
@@ -18,6 +18,9 @@
 //   - errcheckerr: non-test code that drains a trace reader to exhaustion
 //     also checks the reader's Err() (or trace.ErrOf) in the same function,
 //     so a faulted stream can never pass for a clean end of trace.
+//   - handlerctx: internal/service HTTP handlers propagate r.Context() into
+//     context-accepting calls (singleflight, pool submission), so client
+//     disconnects cancel the work they started.
 //
 // DESIGN.md §8 lists the enforced invariants; cmd/simlint is the
 // multichecker binary that runs the suite (standalone or as a
@@ -41,6 +44,7 @@ func All() []*analysis.Analyzer {
 		Determinism,
 		AcctEncapsulation,
 		ErrCheckErr,
+		HandlerCtx,
 	}
 }
 

@@ -1,0 +1,155 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"perfstacks/internal/analysis"
+)
+
+// HandlerCtx enforces the service layer's cancellation contract: an HTTP
+// handler in internal/service that hands work to a context-accepting API
+// (singleflight Do, pool Submit, sim entry points, ...) must derive that
+// context from the request via r.Context(). A handler that reaches for
+// context.Background() — or never touches the request context at all —
+// silently detaches its simulations from the client: disconnects stop
+// canceling work and the load-shedding math is fed by zombie jobs.
+var HandlerCtx = &analysis.Analyzer{
+	Name: "handlerctx",
+	Doc:  "internal/service handlers must propagate r.Context() into context-accepting calls",
+	Run:  runHandlerCtx,
+}
+
+func runHandlerCtx(pass *analysis.Pass) (interface{}, error) {
+	if !pkgSuffix(pass.Pkg.Path(), "internal/service") {
+		return nil, nil
+	}
+	ann := gatherAnnotations(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || isTestFile(pass.Fset, fn.Pos()) {
+				continue
+			}
+			req := requestParam(pass, fn)
+			if req == nil {
+				continue
+			}
+			checkHandler(pass, ann, fn, req)
+		}
+	}
+	return nil, nil
+}
+
+// requestParam returns the *http.Request parameter's object, if fn has one.
+func requestParam(pass *analysis.Pass, fn *ast.FuncDecl) types.Object {
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isHTTPRequestPtr(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && pkgSuffix(obj.Pkg().Path(), "net/http")
+}
+
+// checkHandler walks one handler body. Findings:
+//   - a context-accepting call whose context argument is context.Background()
+//     or context.TODO() (detached from the client, reported per call);
+//   - at least one context-accepting call but no r.Context() reference
+//     anywhere in the handler (reported at the first such call).
+func checkHandler(pass *analysis.Pass, ann *annotations, fn *ast.FuncDecl, req types.Object) {
+	var firstCtxCall *ast.CallExpr
+	usesReqCtx := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isReqContextCall(pass, call, req) {
+			usesReqCtx = true
+			return true
+		}
+		argIdx := contextArgIndex(pass, call)
+		if argIdx < 0 || argIdx >= len(call.Args) {
+			return true
+		}
+		if firstCtxCall == nil {
+			firstCtxCall = call
+		}
+		if isDetachedContext(pass, call.Args[argIdx]) && !ann.suppressed(pass, call.Pos()) {
+			pass.Reportf(call.Pos(), "handler %s passes a detached context into a context-accepting call; derive it from r.Context() so client disconnects cancel the work", fn.Name.Name)
+		}
+		return true
+	})
+	if firstCtxCall != nil && !usesReqCtx && !ann.suppressed(pass, firstCtxCall.Pos()) {
+		pass.Reportf(firstCtxCall.Pos(), "handler %s hands off context-accepting work but never reads r.Context(); client disconnects will not cancel it", fn.Name.Name)
+	}
+}
+
+// isReqContextCall reports whether call is req.Context() on the handler's
+// request parameter.
+func isReqContextCall(pass *analysis.Pass, call *ast.CallExpr, req types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" || len(call.Args) != 0 {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == req
+}
+
+// contextArgIndex returns the parameter position of the callee's leading
+// context.Context parameter, or -1 when the callee does not take one first.
+func contextArgIndex(pass *analysis.Pass, call *ast.CallExpr) int {
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return -1
+	}
+	if !isContextType(sig.Params().At(0).Type()) {
+		return -1
+	}
+	return 0
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && pkgSuffix(obj.Pkg().Path(), "context")
+}
+
+// isDetachedContext reports whether arg is a direct context.Background() or
+// context.TODO() call.
+func isDetachedContext(pass *analysis.Pass, arg ast.Expr) bool {
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && pkgSuffix(obj.Pkg().Path(), "context")
+}

@@ -1,0 +1,138 @@
+package analyzers
+
+import (
+	"testing"
+
+	"perfstacks/internal/analysis/analysistest"
+)
+
+func TestHandlerCtx(t *testing.T) {
+	ctxPkg := analysistest.Package{
+		Path: "example.com/fake/context",
+		Files: map[string]string{
+			"context.go": `package context
+
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+type emptyCtx struct{}
+
+func (emptyCtx) Done() <-chan struct{} { return nil }
+func (emptyCtx) Err() error            { return nil }
+
+func Background() Context { return emptyCtx{} }
+func TODO() Context       { return emptyCtx{} }
+`,
+		},
+	}
+	httpPkg := analysistest.Package{
+		Path: "example.com/fake/net/http",
+		Files: map[string]string{
+			"http.go": `package http
+
+import "example.com/fake/context"
+
+type Request struct {
+	ctx context.Context
+}
+
+func (r *Request) Context() context.Context { return r.ctx }
+
+type ResponseWriter interface {
+	Write([]byte) (int, error)
+}
+`,
+		},
+	}
+	runnerPkg := analysistest.Package{
+		Path: "example.com/fake/internal/runner",
+		Files: map[string]string{
+			"pool.go": `package runner
+
+import "example.com/fake/context"
+
+type Pool struct{}
+
+func (p *Pool) Submit(ctx context.Context, job func()) error { return nil }
+`,
+		},
+	}
+	servicePkg := analysistest.Package{
+		Path: "example.com/fake/internal/service",
+		Files: map[string]string{
+			"handlers.go": `package service
+
+import (
+	"example.com/fake/context"
+	"example.com/fake/internal/runner"
+	"example.com/fake/net/http"
+)
+
+type server struct {
+	pool *runner.Pool
+}
+
+// good propagates the request context.
+func (s *server) good(w http.ResponseWriter, r *http.Request) {
+	s.pool.Submit(r.Context(), func() {})
+}
+
+// goodDerived threads the request context through a variable.
+func (s *server) goodDerived(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	s.pool.Submit(ctx, func() {})
+}
+
+// goodNoWork never hands off work, so no context is required.
+func (s *server) goodNoWork(w http.ResponseWriter, r *http.Request) {
+	w.Write(nil)
+}
+
+// badDetached pins the work to a context the client cannot cancel.
+func (s *server) badDetached(w http.ResponseWriter, r *http.Request) {
+	_ = r.Context()
+	s.pool.Submit(context.Background(), func() {}) // want "detached context"
+}
+
+// badTODO is detached as well.
+func (s *server) badTODO(w http.ResponseWriter, r *http.Request) {
+	_ = r.Context()
+	s.pool.Submit(context.TODO(), func() {}) // want "detached context"
+}
+
+// badNoCtx hands off work without ever reading the request context.
+func (s *server) badNoCtx(w http.ResponseWriter, r *http.Request) {
+	var ctx context.Context
+	s.pool.Submit(ctx, func() {}) // want "never reads r.Context"
+}
+
+// acknowledged background work is allowed with a reasoned annotation.
+func (s *server) ackBackground(w http.ResponseWriter, r *http.Request) {
+	_ = r.Context()
+	s.pool.Submit(context.Background(), func() {}) //simlint:partial fire-and-forget audit log
+}
+`,
+		},
+	}
+	otherPkg := analysistest.Package{
+		Path: "example.com/fake/internal/other",
+		Files: map[string]string{
+			"other.go": `package other
+
+import (
+	"example.com/fake/context"
+	"example.com/fake/internal/runner"
+	"example.com/fake/net/http"
+)
+
+// Outside internal/service the rule does not apply.
+func Free(w http.ResponseWriter, r *http.Request, p *runner.Pool) {
+	p.Submit(context.Background(), func() {})
+}
+`,
+		},
+	}
+	analysistest.Run(t, HandlerCtx, ctxPkg, httpPkg, runnerPkg, servicePkg, otherPkg)
+}

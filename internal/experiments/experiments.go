@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"perfstacks/internal/config"
+	"perfstacks/internal/resultcache"
 	"perfstacks/internal/runner"
 	"perfstacks/internal/sim"
 	"perfstacks/internal/trace"
@@ -25,6 +26,11 @@ type RunSpec struct {
 	// graceful-shutdown path of cmd/experiments). A canceled experiment's
 	// output is partial and must not be rendered as a result.
 	Ctx context.Context
+	// Cache, when non-nil, serves profile-driven simulations from the
+	// content-addressed result cache (shared with cmd/sweep and simd) and
+	// stores fresh results back. Simulations are deterministic, so a cached
+	// rerun renders identical tables and figures.
+	Cache *resultcache.Cache
 }
 
 // DefaultSpec returns the standard experiment sizing.
@@ -48,10 +54,15 @@ func (s RunSpec) ctx() context.Context {
 }
 
 // runSPEC simulates a named SPEC-like profile on a machine (with optional
-// idealizations) under the spec's sizing.
+// idealizations) under the spec's sizing, serving from the spec's result
+// cache when one is attached.
 func runSPEC(spec RunSpec, m config.Machine, prof workload.Profile, opts sim.Options) sim.Result {
 	opts.WarmupUops = spec.Warmup
 	opts.Context = spec.Ctx
+	if spec.Cache != nil {
+		res, _ := resultcache.RunSPEC(spec.Cache, m, prof, spec.Warmup+spec.Uops, opts)
+		return res
+	}
 	tr := trace.NewLimit(workload.NewGenerator(prof), spec.Warmup+spec.Uops)
 	return sim.Run(m, tr, opts)
 }

@@ -1,0 +1,112 @@
+package resultcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// memShards is the number of independently locked LRU shards. Shard choice
+// is the key's first byte modulo memShards; SHA-256 output is uniform, so
+// shards stay balanced without any extra mixing.
+const memShards = 16
+
+// Memory is the in-memory tier: a sharded, byte-budgeted LRU. Each shard
+// holds its own lock, map and recency list, so concurrent lookups from many
+// request handlers contend only when they land on the same shard.
+type Memory struct {
+	shards [memShards]memShard
+}
+
+type memShard struct {
+	mu    sync.Mutex
+	limit int64 // byte budget for this shard
+	used  int64
+	items map[Key]*list.Element
+	lru   *list.List // front = most recently used
+}
+
+type memEntry struct {
+	key     Key
+	payload []byte
+}
+
+// NewMemory builds a memory tier with the given total byte budget spread
+// across the shards. Budgets below one payload per shard still work: a Put
+// larger than the shard budget is simply not cached.
+func NewMemory(budgetBytes int64) *Memory {
+	if budgetBytes < 1 {
+		budgetBytes = 1
+	}
+	m := &Memory{}
+	per := budgetBytes / memShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range m.shards {
+		m.shards[i].limit = per
+		m.shards[i].items = make(map[Key]*list.Element)
+		m.shards[i].lru = list.New()
+	}
+	return m
+}
+
+func (m *Memory) shard(k Key) *memShard { return &m.shards[int(k[0])%memShards] }
+
+// Get returns the payload stored under k and marks it most recently used.
+// The returned slice is shared: callers must not modify it.
+func (m *Memory) Get(k Key) ([]byte, bool) {
+	s := m.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*memEntry).payload, true
+}
+
+// Put stores payload under k, evicting least-recently-used entries to fit
+// the shard budget. Payloads larger than the whole shard budget are not
+// cached (they would evict everything for one entry).
+func (m *Memory) Put(k Key, payload []byte) {
+	s := m.shard(k)
+	size := int64(len(payload))
+	if size > s.limit {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		// Same key, possibly re-stored payload: content addressing makes the
+		// bytes identical, but refresh anyway to keep the invariant local.
+		s.used += size - int64(len(el.Value.(*memEntry).payload))
+		el.Value.(*memEntry).payload = payload
+		s.lru.MoveToFront(el)
+	} else {
+		s.items[k] = s.lru.PushFront(&memEntry{key: k, payload: payload})
+		s.used += size
+	}
+	for s.used > s.limit {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*memEntry)
+		s.lru.Remove(back)
+		delete(s.items, e.key)
+		s.used -= int64(len(e.payload))
+	}
+}
+
+// Len returns the number of cached entries across all shards.
+func (m *Memory) Len() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,226 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 4, QueueDepth: 16})
+	defer p.Close()
+	var ran atomic.Int32
+	var chans []<-chan error
+	for i := 0; i < 16; i++ {
+		ch, err := p.Submit(context.Background(), func(ctx context.Context) error {
+			ran.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	for _, ch := range chans {
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ran.Load(); got != 16 {
+		t.Fatalf("ran %d jobs, want 16", got)
+	}
+}
+
+func TestPoolSaturation(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 1})
+	defer p.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker...
+	ch1, err := p.Submit(context.Background(), func(ctx context.Context) error {
+		close(started)
+		<-block
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...and the single queue slot.
+	ch2, err := p.Submit(context.Background(), func(ctx context.Context) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The next submission must shed immediately.
+	if _, err := p.Submit(context.Background(), func(ctx context.Context) error { return nil }); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("got %v, want ErrSaturated", err)
+	}
+	if q := p.Queued(); q != 1 {
+		t.Fatalf("Queued = %d, want 1", q)
+	}
+	close(block)
+	if err := <-ch1; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ch2; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolPanicRecovered(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 1})
+	defer p.Close()
+	ch, err := p.Submit(context.Background(), func(ctx context.Context) error {
+		panic("job exploded")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := <-ch
+	var pe *PanicError
+	if !errors.As(got, &pe) {
+		t.Fatalf("got %v, want *PanicError", got)
+	}
+	// The worker survived the panic and keeps serving.
+	ch, err = p.Submit(context.Background(), func(ctx context.Context) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolAbandonedWhileQueuedSkips(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 1})
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	ch1, err := p.Submit(context.Background(), func(ctx context.Context) error {
+		close(started)
+		<-block
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	ch2, err := p.Submit(ctx, func(ctx context.Context) error {
+		ran.Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // abandon while queued
+	close(block)
+	<-ch1
+	if err := <-ch2; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Fatal("abandoned job still ran")
+	}
+}
+
+func TestPoolJobTimeout(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 1, JobTimeout: 10 * time.Millisecond})
+	defer p.Close()
+	ch, err := p.Submit(context.Background(), func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-ch; !errors.Is(got, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", got)
+	}
+}
+
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 2, QueueDepth: 8})
+	var ran atomic.Int32
+	var chans []<-chan error
+	for i := 0; i < 8; i++ {
+		ch, err := p.Submit(context.Background(), func(ctx context.Context) error {
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	p.Close()
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("Close drained %d of 8 jobs", got)
+	}
+	if _, err := p.Submit(context.Background(), func(ctx context.Context) error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("got %v, want ErrPoolClosed", err)
+	}
+	for _, ch := range chans {
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolInstrumentation(t *testing.T) {
+	var mu sync.Mutex
+	maxQueued, maxActive, dones := 0, 0, 0
+	p := NewPool(PoolOptions{
+		Workers: 2, QueueDepth: 8,
+		Instrument: PoolInstrument{
+			Queued: func(n int) {
+				mu.Lock()
+				if n > maxQueued {
+					maxQueued = n
+				}
+				mu.Unlock()
+			},
+			Active: func(n int) {
+				mu.Lock()
+				if n > maxActive {
+					maxActive = n
+				}
+				mu.Unlock()
+			},
+			Done: func(err error, wall time.Duration) {
+				mu.Lock()
+				dones++
+				mu.Unlock()
+			},
+		},
+	})
+	gate := make(chan struct{})
+	for i := 0; i < 6; i++ {
+		if _, err := p.Submit(context.Background(), func(ctx context.Context) error {
+			<-gate
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	p.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if dones != 6 {
+		t.Fatalf("Done fired %d times, want 6", dones)
+	}
+	if maxQueued < 1 || maxActive < 1 {
+		t.Fatalf("gauges never rose: maxQueued=%d maxActive=%d", maxQueued, maxActive)
+	}
+	if maxActive > 2 {
+		t.Fatalf("active exceeded worker count: %d", maxActive)
+	}
+}

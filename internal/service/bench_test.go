@@ -1,0 +1,78 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const benchBody = `{"machine":"BDW","workload":{"profile":"mcf","uops":100000}}`
+
+// BenchmarkServiceCacheHit measures the full HTTP round trip for a request
+// served from the in-memory result cache. Compare against
+// BenchmarkServiceColdSim: the acceptance bar is a hit at least 100x
+// faster than simulating (for mcf on BDW the real gap is several orders of
+// magnitude).
+func BenchmarkServiceCacheHit(b *testing.B) {
+	s, err := New(context.Background(), Config{CacheDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	prime, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(benchBody))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, prime.Body)
+	prime.Body.Close()
+	if prime.StatusCode != http.StatusOK {
+		b.Fatalf("prime request: %d", prime.StatusCode)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(benchBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkServiceColdSim measures the same request when every iteration
+// misses (each uses a distinct uop budget, so a distinct key): parse, key
+// derivation, simulation, encoding and cache store.
+func BenchmarkServiceColdSim(b *testing.B) {
+	s, err := New(context.Background(), Config{CacheDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"machine":"BDW","workload":{"profile":"mcf","uops":%d}}`, 100000+i)
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

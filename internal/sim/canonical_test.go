@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/cpu"
+)
+
+func TestCanonicalMachineDeterministic(t *testing.T) {
+	a, err := CanonicalMachine(config.BDW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalMachine(config.BDW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same machine canonicalized to different bytes:\n%q\n%q", a, b)
+	}
+}
+
+// TestCanonicalMachineInjective flips one field at a time and demands a
+// distinct encoding for each perturbation — the property the cache key
+// depends on.
+func TestCanonicalMachineInjective(t *testing.T) {
+	base, err := CanonicalMachine(config.BDW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturb := []func(*config.Machine){
+		func(m *config.Machine) { m.Core.ROBSize++ },
+		func(m *config.Machine) { m.Core.FetchWidth++ },
+		func(m *config.Machine) { m.Hierarchy.L1D.SizeBytes *= 2 },
+		func(m *config.Machine) { m.Hierarchy.Mem.Latency++ },
+		func(m *config.Machine) { m.FreqGHz += 0.1 },
+		func(m *config.Machine) { m.Name = "BDW2" },
+		func(m *config.Machine) { m.Core.MemDisambiguation = !m.Core.MemDisambiguation },
+	}
+	seen := map[string]int{string(base): -1}
+	for i, p := range perturb {
+		m := config.BDW()
+		p(&m)
+		enc, err := CanonicalMachine(m)
+		if err != nil {
+			t.Fatalf("perturbation %d: %v", i, err)
+		}
+		if prev, dup := seen[string(enc)]; dup {
+			t.Fatalf("perturbation %d collides with %d", i, prev)
+		}
+		seen[string(enc)] = i
+	}
+}
+
+func TestCanonicalMachineRejectsInvalid(t *testing.T) {
+	m := config.BDW()
+	m.Core.FetchWidth = -1
+	if _, err := CanonicalMachine(m); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("negative width: got %v, want ErrBadValue", err)
+	}
+
+	m = config.BDW()
+	m.FreqGHz = math.NaN()
+	_, err := CanonicalMachine(m)
+	if !errors.Is(err, ErrBadValue) {
+		t.Fatalf("NaN clock: got %v, want ErrBadValue", err)
+	}
+	var fe *FieldError
+	if !errors.As(err, &fe) || fe.Field != "config.Machine.FreqGHz" {
+		t.Fatalf("NaN clock: got field error %+v, want config.Machine.FreqGHz", fe)
+	}
+
+	m = config.BDW()
+	m.FreqGHz = math.Inf(1)
+	if _, err := CanonicalMachine(m); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("infinite clock: got %v, want ErrBadValue", err)
+	}
+}
+
+func TestParseSchemeTyped(t *testing.T) {
+	for name, want := range map[string]core.WrongPathScheme{
+		"":            core.WrongPathOracle,
+		"oracle":      core.WrongPathOracle,
+		"simple":      core.WrongPathSimple,
+		"speculative": core.WrongPathSpeculative,
+	} {
+		got, err := ParseScheme(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseScheme(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseScheme("orcale"); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("misspelled scheme: got %v, want ErrBadValue", err)
+	}
+	if _, err := ParseWrongPathMode("synthetic"); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("misspelled mode: got %v, want ErrBadValue", err)
+	}
+	if m, err := ParseWrongPathMode("synth"); err != nil || m != cpu.WrongPathSynth {
+		t.Fatalf("ParseWrongPathMode(synth) = %v, %v", m, err)
+	}
+}
+
+func TestValidateOptionsRange(t *testing.T) {
+	if err := ValidateOptions(Default()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateOptions(Options{Scheme: core.WrongPathScheme(7)}); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("out-of-range scheme: got %v, want ErrBadValue", err)
+	}
+	if err := ValidateOptions(Options{WrongPath: cpu.WrongPathMode(-1)}); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("out-of-range mode: got %v, want ErrBadValue", err)
+	}
+}
+
+// TestCanonicalOptionsKeySpace checks that every measurement-relevant field
+// splits the encoding and the two excluded fields do not.
+func TestCanonicalOptionsKeySpace(t *testing.T) {
+	base, err := CanonicalOptions(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// NoSkip and Context must not change the canonical bytes: both are
+	// bit-identical/irrelevant to the measurement.
+	o := Default()
+	o.NoSkip = true
+	o.Context = context.Background()
+	same, err := CanonicalOptions(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(base, same) {
+		t.Fatalf("NoSkip/Context changed the canonical options:\n%q\n%q", base, same)
+	}
+
+	perturb := []func(*Options){
+		func(o *Options) { o.CPI = !o.CPI },
+		func(o *Options) { o.FLOPS = !o.FLOPS },
+		func(o *Options) { o.MemDepth = !o.MemDepth },
+		func(o *Options) { o.Structural = !o.Structural },
+		func(o *Options) { o.Fetch = !o.Fetch },
+		func(o *Options) { o.Scheme = core.WrongPathSimple },
+		func(o *Options) { o.WrongPath = cpu.WrongPathSynth },
+		func(o *Options) { o.WarmupUops += 1000 },
+	}
+	seen := map[string]int{string(base): -1}
+	for i, p := range perturb {
+		o := Default()
+		p(&o)
+		enc, err := CanonicalOptions(o)
+		if err != nil {
+			t.Fatalf("perturbation %d: %v", i, err)
+		}
+		if prev, dup := seen[string(enc)]; dup {
+			t.Fatalf("perturbation %d collides with %d", i, prev)
+		}
+		seen[string(enc)] = i
+	}
+}
+
+func TestCanonicalBytesInjectivityCorners(t *testing.T) {
+	// A string containing separator bytes must not collide with structure.
+	type s struct{ A, B string }
+	x, err := CanonicalBytes("s", s{A: `x";B="y`, B: ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := CanonicalBytes("s", s{A: "x", B: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(x, y) {
+		t.Fatal("quoting failed: embedded separators collided")
+	}
+
+	// Maps encode sorted, so insertion order is invisible.
+	m1 := map[string]int{"a": 1, "b": 2}
+	m2 := map[string]int{"b": 2, "a": 1}
+	e1, err := CanonicalBytes("m", m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := CanonicalBytes("m", m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("map encoding depends on insertion order")
+	}
+}

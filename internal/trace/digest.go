@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+)
+
+// DigestSize is the size of a trace content digest (SHA-256).
+const DigestSize = sha256.Size
+
+// Digest is the SHA-256 of a trace's raw bytes — the trace half of a
+// content-addressed result-cache key. Hashing the file bytes (header
+// included) rather than decoded uops means any corruption, version change or
+// edit changes the identity, even when it happens to decode.
+type Digest [DigestSize]byte
+
+// String returns the digest in hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// DigestReader wraps an io.Reader and hashes every byte that streams
+// through it. Layer it under NewFileReader and the content digest comes out
+// of the single pass ingestion already makes — no separate hashing read of
+// the file. Sum is only meaningful once the stream has been fully consumed
+// (the FileReader hit a clean end of file); a partial drain digests a
+// prefix.
+type DigestReader struct {
+	r io.Reader
+	h hash.Hash
+	n int64
+}
+
+// NewDigestReader wraps r with a streaming SHA-256.
+func NewDigestReader(r io.Reader) *DigestReader {
+	return &DigestReader{r: r, h: sha256.New()}
+}
+
+// Read implements io.Reader, folding delivered bytes into the digest.
+func (d *DigestReader) Read(p []byte) (int, error) {
+	n, err := d.r.Read(p)
+	if n > 0 {
+		d.h.Write(p[:n])
+		d.n += int64(n)
+	}
+	return n, err
+}
+
+// Bytes returns how many bytes have streamed through so far.
+func (d *DigestReader) Bytes() int64 { return d.n }
+
+// Sum returns the digest of the bytes delivered so far. It does not
+// finalize the stream: more reads keep folding in.
+func (d *DigestReader) Sum() Digest {
+	var out Digest
+	d.h.Sum(out[:0])
+	return out
+}
+
+// DigestFile hashes a trace file's full contents in one buffered pass. This
+// is the lookup-side pass: a service checking its result cache needs the
+// trace identity before deciding whether to simulate at all. On a miss the
+// simulation's own ingestion re-derives the digest through DigestReader,
+// and the two must match for the result to be stored (a file mutated
+// between lookup and run must not poison the cache).
+func DigestFile(path string) (Digest, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Digest{}, 0, fmt.Errorf("trace: digesting %s: %w", path, err)
+	}
+	defer f.Close()
+	d := NewDigestReader(f)
+	if _, err := io.Copy(io.Discard, d); err != nil {
+		return Digest{}, 0, fmt.Errorf("trace: digesting %s: %w", path, err)
+	}
+	return d.Sum(), d.Bytes(), nil
+}

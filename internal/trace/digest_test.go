@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// digestTrace materializes uops to a buffer in the file format.
+func digestTrace(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		u := Uop{Seq: uint64(i), PC: 0x1000 + uint64(i)*4, Op: OpALU}
+		if err := w.Write(&u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDigestReaderMatchesWholeFile proves the streaming digest equals the
+// one-shot hash of the same bytes, and that full ingestion through a
+// FileReader consumes exactly the whole stream.
+func TestDigestReaderMatchesWholeFile(t *testing.T) {
+	raw := digestTrace(t, 100)
+	want := Digest(sha256.Sum256(raw))
+
+	d := NewDigestReader(bytes.NewReader(raw))
+	fr, err := NewFileReader(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [7]Uop // odd batch size: exercises partial refills
+	n := 0
+	for {
+		got := fr.ReadBatch(buf[:])
+		if got == 0 {
+			break
+		}
+		n += got
+	}
+	if fr.Err() != nil {
+		t.Fatal(fr.Err())
+	}
+	if n != 100 {
+		t.Fatalf("ingested %d uops, want 100", n)
+	}
+	if got := d.Sum(); got != want {
+		t.Fatalf("streaming digest %s != whole-file digest %s", got, want)
+	}
+	if d.Bytes() != int64(len(raw)) {
+		t.Fatalf("streamed %d bytes, want %d", d.Bytes(), len(raw))
+	}
+}
+
+func TestDigestFile(t *testing.T) {
+	raw := digestTrace(t, 25)
+	path := filepath.Join(t.TempDir(), "t.trace")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := DigestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(raw)) {
+		t.Fatalf("DigestFile read %d bytes, want %d", n, len(raw))
+	}
+	if want := Digest(sha256.Sum256(raw)); got != want {
+		t.Fatalf("DigestFile %s != %s", got, want)
+	}
+
+	// One flipped bit anywhere (header or record) changes the identity.
+	raw[5] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flipped, _, err := DigestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped == got {
+		t.Fatal("bit flip did not change the digest")
+	}
+
+	if _, _, err := DigestFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
