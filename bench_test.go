@@ -310,6 +310,56 @@ func BenchmarkStallSkipping(b *testing.B) {
 	b.Run("noskip", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkSMPThroughput tracks socket-scale simulation cost: a DeepBench
+// conv gang at 2, 8 and 18 cores, barrier-dense (Figure 5's Unsched-heavy
+// shape) and barrier-free, stepped by the sequential lockstep and by the
+// parallel epoch-gated harness. b.N counts committed uops summed across the
+// gang, so ns/op is directly comparable to BenchmarkSimulatorThroughput; the
+// parallel/sequential ratio at 18 cores is the headline socket speedup.
+func BenchmarkSMPThroughput(b *testing.B) {
+	m := config.SKX()
+	variants := []struct {
+		name    string
+		barrier int
+	}{
+		{"barrier-dense", 4000},
+		{"barrier-free", 0},
+	}
+	for _, cores := range []int{2, 8, 18} {
+		for _, v := range variants {
+			for _, mode := range []string{"sequential", "parallel"} {
+				cores, v, mode := cores, v, mode
+				b.Run(fmt.Sprintf("cores=%d/%s/%s", cores, v.name, mode), func(b *testing.B) {
+					done := 0
+					for done < b.N {
+						per := uint64((b.N-done)/cores + 1)
+						if per > 100_000 {
+							per = 100_000
+						}
+						mk := func(tid int) trace.Reader {
+							k := workload.NewConv(workload.StyleSKX, workload.ConvTrain()[6],
+								workload.ConvFwd, m.Core.VectorLanes, uint64(tid)+1, v.barrier)
+							k.SetExtraOverhead(tid % 4) // skewed barrier paces
+							return trace.NewLimit(k, per)
+						}
+						opts := sim.Default()
+						opts.Parallel = mode == "parallel"
+						res := sim.RunSMP(m, cores, mk, opts)
+						committed := 0
+						for _, st := range res.PerCore {
+							committed += int(st.Committed)
+						}
+						if committed == 0 {
+							b.Fatal("no uops committed")
+						}
+						done += committed
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput reports end-to-end simulated uops per second
 // on a representative workload (the headline simulator speed number).
 func BenchmarkSimulatorThroughput(b *testing.B) {

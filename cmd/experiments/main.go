@@ -41,6 +41,7 @@ func main() {
 	warmup := flag.Uint64("warmup", 0, "warm-up uops per simulation (0 = default)")
 	quick := flag.Bool("quick", false, "use the reduced test sizing")
 	par := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	smpPar := flag.Bool("smp-parallel", false, "step SMP gangs (figure5) on concurrent per-core goroutines; results are byte-identical")
 	benchJSON := flag.String("benchjson", "", "write per-experiment wall-time stats as JSON to this file (- for stderr)")
 	ckptPath := flag.String("checkpoint", "", "persist each completed experiment's output as a JSONL line in this file")
 	resume := flag.Bool("resume", false, "reload -checkpoint and skip already-completed experiments")
@@ -93,6 +94,7 @@ func main() {
 		spec.Warmup = *warmup
 	}
 	spec.Parallelism = *par
+	spec.SMPParallel = *smpPar
 	spec.Ctx = ctx
 	if *cacheDir != "" {
 		disk, err := resultcache.NewDisk(*cacheDir)

@@ -1,4 +1,4 @@
-// Package analyzers holds the simlint suite: seven static-analysis passes
+// Package analyzers holds the simlint suite: eight static-analysis passes
 // that machine-check the accounting core's structural invariants — the
 // conventions that make every CPI/FLOPS stack sum exactly to total cycles —
 // the simulator's hot-path performance contracts, and its error-propagation
@@ -21,6 +21,9 @@
 //   - handlerctx: internal/service HTTP handlers propagate r.Context() into
 //     context-accepting calls (singleflight, pool submission), so client
 //     disconnects cancel the work they started.
+//   - smpshared: core-step code (internal/cpu) reaches the shared uncore
+//     only through the epoch API (cache.EpochPort), never by direct Access
+//     on a shared level — the parallel-SMP byte-identity contract.
 //
 // DESIGN.md §8 lists the enforced invariants; cmd/simlint is the
 // multichecker binary that runs the suite (standalone or as a
@@ -45,6 +48,7 @@ func All() []*analysis.Analyzer {
 		AcctEncapsulation,
 		ErrCheckErr,
 		HandlerCtx,
+		SMPShared,
 	}
 }
 

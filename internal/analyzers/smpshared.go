@@ -1,0 +1,104 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"perfstacks/internal/analysis"
+)
+
+// SMPShared enforces the parallel-SMP isolation contract introduced with the
+// epoch gate: core-step code (internal/cpu) may reach the shared uncore —
+// the shared L3 level and the memory bandwidth model — only through the
+// epoch API (cache.EpochPort), never by calling Access directly on a shared
+// level. In a parallel run every core steps on its own goroutine; a direct
+// Access bypasses the (cycle, core)-ordered grant protocol, and the result
+// is a data race plus a silent break of the byte-identity contract that
+// TestParallelSMPEquivalence pins. Deliberate direct accesses (single-core
+// construction paths, drains that run before workers start) are acknowledged
+// with a reasoned //simlint:partial annotation.
+var SMPShared = &analysis.Analyzer{
+	Name: "smpshared",
+	Doc:  "internal/cpu must reach the shared uncore through the epoch API (cache.EpochPort), not direct Access on a shared level",
+	Run:  runSMPShared,
+}
+
+func runSMPShared(pass *analysis.Pass) (interface{}, error) {
+	if !pkgSuffix(pass.Pkg.Path(), "internal/cpu") {
+		return nil, nil
+	}
+	ann := gatherAnnotations(pass)
+	walkFiles(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Access" || len(call.Args) != 1 {
+			return true
+		}
+		if isTestFile(pass.Fset, call.Pos()) {
+			return true
+		}
+		if !isSharedAccessCall(pass, call) {
+			return true
+		}
+		if recv := pass.TypesInfo.Types[sel.X].Type; isEpochAPI(recv) {
+			return true
+		}
+		if ann.suppressed(pass, call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "shared uncore mutated outside the epoch API: %s.Access bypasses the epoch gate's ordered grants; route the request through cache.EpochPort",
+			types.TypeString(pass.TypesInfo.Types[sel.X].Type, types.RelativeTo(pass.Pkg)))
+		return true
+	})
+	return nil, nil
+}
+
+// isSharedAccessCall reports whether call is shaped like the shared-level
+// access point: one parameter of a named type Request and one result of a
+// named type Result, both declared in internal/cache or internal/mem.
+// Matching on the signature (rather than the static receiver type) catches
+// the Level interface, every concrete cache level, and the memory model
+// alike.
+func isSharedAccessCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isUncoreNamed(sig.Params().At(0).Type(), "Request") &&
+		isUncoreNamed(sig.Results().At(0).Type(), "Result")
+}
+
+// isUncoreNamed reports whether t is the named type `name` declared in an
+// uncore model package (internal/cache or internal/mem).
+func isUncoreNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return pkgSuffix(path, "internal/cache") || pkgSuffix(path, "internal/mem")
+}
+
+// isEpochAPI reports whether the receiver type is the epoch API itself:
+// cache.EpochPort (or the gate), whose Access IS the ordered entry point.
+func isEpochAPI(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pkgSuffix(obj.Pkg().Path(), "internal/cache") {
+		return false
+	}
+	return obj.Name() == "EpochPort" || obj.Name() == "EpochGate"
+}

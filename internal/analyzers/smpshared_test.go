@@ -1,0 +1,150 @@
+package analyzers
+
+import (
+	"testing"
+
+	"perfstacks/internal/analysis/analysistest"
+)
+
+func TestSMPShared(t *testing.T) {
+	cachePkg := analysistest.Package{
+		Path: "example.com/fake/internal/cache",
+		Files: map[string]string{
+			"cache.go": `package cache
+
+type Request struct {
+	Addr uint64
+	At   int64
+}
+
+type Result struct {
+	DoneAt int64
+	Miss   bool
+}
+
+// Level is the shared-uncore access point.
+type Level interface {
+	Access(Request) Result
+}
+
+// Cache is a concrete shared level.
+type Cache struct{ hits int64 }
+
+func (c *Cache) Access(req Request) Result { c.hits++; return Result{DoneAt: req.At + 1} }
+
+// EpochPort is the epoch API: the one sanctioned path to the shared level.
+type EpochPort struct {
+	shared Level
+}
+
+func (p *EpochPort) Access(req Request) Result { return p.shared.Access(req) }
+`,
+		},
+	}
+	memPkg := analysistest.Package{
+		Path: "example.com/fake/internal/mem",
+		Files: map[string]string{
+			"mem.go": `package mem
+
+type Request struct {
+	Addr uint64
+	At   int64
+}
+
+type Result struct{ DoneAt int64 }
+
+// Memory is the bandwidth model behind the shared L3.
+type Memory struct{ cursor int64 }
+
+func (m *Memory) Access(req Request) Result { m.cursor++; return Result{DoneAt: req.At + 90} }
+`,
+		},
+	}
+	cpuPkg := analysistest.Package{
+		Path: "example.com/fake/internal/cpu",
+		Files: map[string]string{
+			"core.go": `package cpu
+
+import (
+	"example.com/fake/internal/cache"
+	"example.com/fake/internal/mem"
+)
+
+// good routes every shared access through the epoch port.
+type good struct {
+	port *cache.EpochPort
+}
+
+func (g *good) load(req cache.Request) cache.Result {
+	return g.port.Access(req)
+}
+
+// badIface mutates the shared level directly through the interface.
+type badIface struct {
+	shared cache.Level
+}
+
+func (b *badIface) load(req cache.Request) cache.Result {
+	return b.shared.Access(req) // want "shared uncore mutated outside the epoch API"
+}
+
+// badConcrete: the rule is keyed on the Access signature, so a concrete
+// shared level is caught too.
+type badConcrete struct {
+	l3 *cache.Cache
+}
+
+func (b *badConcrete) load(req cache.Request) cache.Result {
+	return b.l3.Access(req) // want "shared uncore mutated outside the epoch API"
+}
+
+// badMem: the memory bandwidth model is shared uncore state as well.
+func drainToDRAM(m *mem.Memory, req mem.Request) mem.Result {
+	return m.Access(req) // want "shared uncore mutated outside the epoch API"
+}
+
+// annotated is a deliberate pre-worker drain, reviewed by a human.
+func warmup(shared cache.Level, reqs []cache.Request) {
+	for _, req := range reqs {
+		//simlint:partial warm-up runs before the worker goroutines start
+		shared.Access(req)
+	}
+}
+
+// otherAccess has the right name but the wrong shape: not an uncore access.
+type table struct{ rows map[uint64]int }
+
+func (t *table) Access(key uint64) bool { _, ok := t.rows[key]; return ok }
+
+func probe(t *table) bool { return t.Access(7) }
+`,
+			"core_test.go": `package cpu
+
+import "example.com/fake/internal/cache"
+
+// Test files may poke the shared level: equivalence tests drive both paths.
+func directForTest(shared cache.Level, req cache.Request) cache.Result {
+	return shared.Access(req)
+}
+`,
+		},
+	}
+	simPkg := analysistest.Package{
+		Path: "example.com/fake/internal/sim",
+		Files: map[string]string{
+			"sim.go": `package sim
+
+import "example.com/fake/internal/cache"
+
+// Outside internal/cpu direct access is fine: the harness builds and warms
+// the shared level before any worker goroutine exists.
+func prime(shared cache.Level, reqs []cache.Request) {
+	for _, req := range reqs {
+		shared.Access(req)
+	}
+}
+`,
+		},
+	}
+	analysistest.Run(t, SMPShared, cachePkg, memPkg, cpuPkg, simPkg)
+}

@@ -1,0 +1,321 @@
+// Epoch-sharded access to the shared uncore.
+//
+// In parallel SMP runs, each core steps on its own goroutine between barrier
+// synchronization points, and the cores couple only through the shared L3
+// slice and the memory bandwidth model behind it. Those models are scalar
+// state machines (LRU arrays, MSHR pools, a bandwidth cursor) whose results
+// depend on the order requests arrive, so byte-identical results require the
+// parallel run to replay shared accesses in exactly the sequential lockstep
+// order: ascending (cycle, core) — core 0's cycle-T access before core 1's
+// cycle-T access before anyone's cycle-T+1 access.
+//
+// The EpochGate enforces that order without a global barrier per cycle. A
+// core's epoch is the window it runs privately — L1/L2 hits, issue, commit —
+// which ends when it next needs the shared level. Each core publishes its
+// progress (the cycle its current epoch opened) with one atomic store per
+// step; a shared access at (T, i) drains immediately when every other core k
+// provably cannot emit an earlier-ordered access — progress[k] > T, or
+// progress[k] == T with k > i — and otherwise parks inside the port until
+// the lagging cores advance, park at a barrier, or finish. Only the minimum
+// outstanding (cycle, core) key is ever eligible, so draining is total,
+// deadlock-free, and reproduces the sequential interleaving exactly.
+package cache
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"perfstacks/internal/invariant"
+)
+
+// unknownProgress marks a core that cannot emit shared accesses until
+// re-anchored: parked at a barrier (its next access comes after the release
+// cycle, which is at least every running core's current cycle) or finished.
+const unknownProgress = math.MaxInt64
+
+// EpochGate coordinates epoch-ordered access to one shared Level among n
+// concurrently stepping cores. Build the per-core hierarchies over Port(i).
+type EpochGate struct {
+	shared Level
+
+	// grantHook, when set, observes each grant's cycle under the gate lock —
+	// the memory model's epoch floor (mem.SetEpochFloor) hangs off it.
+	grantHook func(int64)
+
+	// progress[i] is a lower bound on the cycle of core i's next shared
+	// access: the cycle its current step opened, or unknownProgress while it
+	// is parked or finished. Written by the owning core, read by waiters.
+	progress []atomic.Int64
+	// gate[i] is the edge-trigger threshold for core i's progress: when a
+	// Begin crosses it, some waiter's eligibility may have changed and the
+	// core must kick the gate. unknownProgress when no waiter depends on i.
+	gate []atomic.Int64
+
+	// accessMu serializes the shared level itself. In normal operation the
+	// grant protocol already excludes concurrent access, so it is always
+	// uncontended; after cancellation it is the only exclusion left.
+	accessMu sync.Mutex
+
+	mu      sync.Mutex
+	waiters []gateWaiter
+	free    atomic.Bool // cancellation: order abandoned, access serialized only
+
+	ports []EpochPort
+
+	// Last granted key, for the simdebug strict-order invariant.
+	lastCycle int64
+	lastID    int
+}
+
+// gateWaiter is one core blocked inside Access until its key is minimal.
+type gateWaiter struct {
+	cycle int64
+	id    int
+	wake  chan struct{}
+}
+
+// EpochPort is core i's window onto the shared level. It implements Level;
+// the core's private hierarchy is built over it (cache.NewHierarchyShared),
+// so every L3-bound request — demand fills, dirty writebacks, prefetches —
+// funnels through Access in the core's own program order.
+//
+// The port is owned by one goroutine: Begin/Access/Park/Finish must be
+// called only by the core's stepping goroutine.
+type EpochPort struct {
+	g       *EpochGate
+	id      int
+	cycle   int64
+	granted bool
+	wake    chan struct{}
+}
+
+// NewEpochGate builds a gate for n cores over the shared level.
+func NewEpochGate(shared Level, n int) *EpochGate {
+	g := &EpochGate{
+		shared:   shared,
+		progress: make([]atomic.Int64, n),
+		gate:     make([]atomic.Int64, n),
+		ports:    make([]EpochPort, n),
+	}
+	for i := 0; i < n; i++ {
+		g.gate[i].Store(unknownProgress)
+		g.ports[i] = EpochPort{g: g, id: i, wake: make(chan struct{}, 1)}
+	}
+	g.lastCycle, g.lastID = -1, n // sentinel below any real grant key
+	return g
+}
+
+// SetGrantHook installs a callback observing each grant's cycle (under the
+// gate lock, so calls are totally ordered and nondecreasing). Cancellation
+// resets it once with math.MinInt64: post-cancel access order is undefined.
+func (g *EpochGate) SetGrantHook(fn func(int64)) { g.grantHook = fn }
+
+// Port returns core i's port.
+func (g *EpochGate) Port(i int) *EpochPort { return &g.ports[i] }
+
+// Begin opens core id's next step at the given cycle, publishing that no
+// access older than (cycle, id) can come from this core anymore. One atomic
+// store plus one atomic load on the per-cycle hot path.
+func (p *EpochPort) Begin(cycle int64) {
+	p.cycle = cycle
+	p.granted = false
+	g := p.g
+	g.progress[p.id].Store(cycle)
+	if cycle >= g.gate[p.id].Load() {
+		g.kick()
+	}
+}
+
+// Park marks the core parked at a barrier: it will not access the shared
+// level again until the harness re-anchors it past the release cycle.
+func (p *EpochPort) Park() { p.g.retreat(p.id) }
+
+// Finish marks the core done for good.
+func (p *EpochPort) Finish() { p.g.retreat(p.id) }
+
+// Reanchor restores a parked core's progress to its post-release cycle. The
+// harness must re-anchor every released core before waking any of them, so
+// no core is granted an access the ordering should have deferred behind a
+// slower sibling's earlier post-release cycle.
+func (p *EpochPort) Reanchor(cycle int64) {
+	g := p.g
+	g.mu.Lock()
+	g.progress[p.id].Store(cycle)
+	g.mu.Unlock()
+}
+
+// Access implements Level: it drains the request into the shared level once
+// every earlier-ordered access has drained. The first access of a step
+// acquires the grant; the rest of the step's accesses (more loads, L2
+// writebacks, prefetch fills) ride the same grant, since the core's progress
+// pins the global order until its next Begin.
+func (p *EpochPort) Access(req Request) Result {
+	g := p.g
+	if !p.granted && !g.free.Load() {
+		g.acquire(p)
+		p.granted = true
+	}
+	g.accessMu.Lock()
+	res := g.shared.Access(req)
+	g.accessMu.Unlock()
+	return res
+}
+
+// ResetState implements Level by forwarding to the shared level. The SMP
+// harness owns the shared level's lifecycle; ports are never reset mid-run.
+func (p *EpochPort) ResetState() { p.g.shared.ResetState() }
+
+// retreat withdraws a core from the order (barrier park or finish): its
+// progress becomes unknownProgress, which may make the head waiter eligible.
+func (g *EpochGate) retreat(id int) {
+	g.mu.Lock()
+	g.progress[id].Store(unknownProgress)
+	g.reevaluate()
+	g.mu.Unlock()
+}
+
+// eligible reports whether an access at (cycle, id) is the minimal
+// outstanding key: every other core has provably moved past it.
+func (g *EpochGate) eligible(cycle int64, id int) bool {
+	for j := range g.progress {
+		if j == id {
+			continue
+		}
+		pj := g.progress[j].Load()
+		if pj > cycle || (pj == cycle && j > id) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// acquire blocks until (p.cycle, p.id) is the minimal outstanding key. The
+// store-thresholds-then-recheck ordering against Begin's store-progress-
+// then-check-threshold is the classic flag protocol: under Go's sequentially
+// consistent atomics at least one side observes the other, so no wakeup is
+// lost.
+func (g *EpochGate) acquire(p *EpochPort) {
+	g.mu.Lock()
+	if g.free.Load() {
+		g.mu.Unlock()
+		return
+	}
+	if g.eligible(p.cycle, p.id) {
+		g.noteGrant(p.cycle, p.id)
+		g.mu.Unlock()
+		return
+	}
+	g.waiters = append(g.waiters, gateWaiter{cycle: p.cycle, id: p.id, wake: p.wake})
+	g.regate()
+	if g.eligible(p.cycle, p.id) {
+		g.dropWaiter(p.id)
+		g.regate()
+		g.noteGrant(p.cycle, p.id)
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+	<-p.wake
+}
+
+// kick is the slow half of Begin's threshold crossing: refresh the
+// thresholds and grant the head waiter if it became eligible.
+func (g *EpochGate) kick() {
+	g.mu.Lock()
+	g.regate()
+	g.reevaluate()
+	g.mu.Unlock()
+}
+
+// regate recomputes every core's wake threshold from the current waiters: a
+// waiter at (T, i) needs to hear from core j once progress[j] reaches T+1
+// (for j < i) or T (for j > i).
+func (g *EpochGate) regate() {
+	for j := range g.gate {
+		th := int64(unknownProgress)
+		for _, w := range g.waiters {
+			if w.id == j {
+				continue
+			}
+			need := w.cycle
+			if j < w.id {
+				need = w.cycle + 1
+			}
+			if need < th {
+				th = need
+			}
+		}
+		g.gate[j].Store(th)
+	}
+}
+
+// reevaluate grants the minimal-key waiter if it is eligible. At most one
+// waiter can hold the minimal key, and a grant leaves the grantee mid-cycle
+// (its progress pinned), so no second waiter can become eligible until the
+// grantee's next Begin kicks the gate again.
+func (g *EpochGate) reevaluate() {
+	if len(g.waiters) == 0 {
+		return
+	}
+	head := 0
+	for i := 1; i < len(g.waiters); i++ {
+		w, h := g.waiters[i], g.waiters[head]
+		if w.cycle < h.cycle || (w.cycle == h.cycle && w.id < h.id) {
+			head = i
+		}
+	}
+	w := g.waiters[head]
+	if !g.eligible(w.cycle, w.id) {
+		return
+	}
+	g.waiters[head] = g.waiters[len(g.waiters)-1]
+	g.waiters = g.waiters[:len(g.waiters)-1]
+	g.regate()
+	g.noteGrant(w.cycle, w.id)
+	w.wake <- struct{}{}
+}
+
+// dropWaiter removes core id's waiter entry (self-grant on the recheck).
+func (g *EpochGate) dropWaiter(id int) {
+	for i := range g.waiters {
+		if g.waiters[i].id == id {
+			g.waiters[i] = g.waiters[len(g.waiters)-1]
+			g.waiters = g.waiters[:len(g.waiters)-1]
+			return
+		}
+	}
+}
+
+// noteGrant records a grant (gate lock held). Grants must occur in strictly
+// increasing (cycle, core) order — that IS the byte-identity argument — and
+// the simdebug build asserts it on every grant.
+func (g *EpochGate) noteGrant(cycle int64, id int) {
+	if invariant.Enabled {
+		invariant.Assertf(cycle > g.lastCycle || (cycle == g.lastCycle && id > g.lastID),
+			"epoch gate: grant (%d,%d) not after (%d,%d)", cycle, id, g.lastCycle, g.lastID)
+	}
+	g.lastCycle, g.lastID = cycle, id
+	if g.grantHook != nil {
+		g.grantHook(cycle)
+	}
+}
+
+// Cancel abandons the deterministic order: every parked waiter is released
+// and future accesses serialize only on the access lock. Results after a
+// cancel are partial by contract and never byte-compared.
+func (g *EpochGate) Cancel() {
+	g.mu.Lock()
+	if !g.free.Load() {
+		g.free.Store(true)
+		if g.grantHook != nil {
+			g.grantHook(math.MinInt64)
+		}
+		for _, w := range g.waiters {
+			w.wake <- struct{}{}
+		}
+		g.waiters = g.waiters[:0]
+	}
+	g.mu.Unlock()
+}

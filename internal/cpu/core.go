@@ -294,16 +294,15 @@ func (c *Core) nextEvent() int64 {
 		consider(c.resolveAt)
 	}
 	consider(c.fe.stallUntil)
-	if h := c.rob.headEntry(); h != nil && h.issued {
-		consider(h.doneAt)
+	if h := c.rob.headSlot(); h >= 0 && c.rob.flags[h]&robIssued != 0 {
+		consider(c.rob.doneAt[h])
 	}
 	hasDiv := false
 	for _, slot := range c.rs {
-		e := c.rob.at(slot)
-		if e.u.Op == trace.OpDiv {
+		if c.rob.u[slot].Op == trace.OpDiv {
 			hasDiv = true
 		}
-		for _, src := range e.u.Src {
+		for _, src := range c.rob.u[slot].Src {
 			if src == trace.NoProducer {
 				continue
 			}
@@ -346,23 +345,23 @@ func (c *Core) emit(s *core.CycleSample) {
 // commit retires up to CommitWidth finished uops in order.
 func (c *Core) commit(s *core.CycleSample) {
 	for n := 0; n < c.p.CommitWidth; n++ {
-		h := c.rob.headEntry()
-		if h == nil {
+		h := c.rob.headSlot()
+		if h < 0 {
 			break
 		}
-		if !h.doneBy(c.now) {
+		if !c.rob.doneBy(h, c.now) {
 			break
 		}
-		if h.u.Op == trace.OpBarrier && c.barrierWaiter != nil && !c.barrierReleased {
+		if c.rob.u[h].Op == trace.OpBarrier && c.barrierWaiter != nil && !c.barrierReleased {
 			c.yielded = true
 			c.BarrierCount++
 			c.barrierWaiter(c)
 			break
 		}
-		if h.u.Op == trace.OpBarrier {
+		if c.rob.u[h].Op == trace.OpBarrier {
 			c.barrierReleased = false
 		}
-		seq := h.u.Seq
+		seq := c.rob.u[h].Seq
 		c.sb.retire(seq)
 		c.rob.pop()
 		c.Stats.Committed++
@@ -372,10 +371,10 @@ func (c *Core) commit(s *core.CycleSample) {
 	}
 
 	s.ROBEmpty = c.rob.empty()
-	if h := c.rob.headEntry(); h != nil {
-		s.ROBHeadNotDone = !h.doneBy(c.now)
-		s.ROBHeadClass = classify(h)
-		s.ROBHeadMissDepth = h.missDepth
+	if h := c.rob.headSlot(); h >= 0 {
+		s.ROBHeadNotDone = !c.rob.doneBy(h, c.now)
+		s.ROBHeadClass = c.rob.classify(h)
+		s.ROBHeadMissDepth = c.rob.depth[h]
 	}
 }
 
@@ -402,15 +401,15 @@ func (c *Core) issue(s *core.CycleSample) {
 	var oldestVFPSeen bool
 
 	for _, slot := range c.rs {
-		e := c.rob.at(slot)
+		op := c.rob.u[slot].Op
 
 		if issued >= c.p.IssueWidth {
 			kept = append(kept, slot)
-			c.noteWaiting(s, e, &oldestVFPSeen, core.ProdNone, false)
+			c.noteWaiting(s, op, &oldestVFPSeen, core.ProdNone, false)
 			continue
 		}
 
-		readyAt, allIssued, blamed := c.srcScan(e)
+		readyAt, allIssued, blamed := c.srcScan(slot)
 		if !allIssued || readyAt > c.now {
 			// Not ready: record the first non-ready entry's producer class
 			// (Table II issue column) and the oldest waiting VFP uop
@@ -428,34 +427,34 @@ func (c *Core) issue(s *core.CycleSample) {
 				s.FirstNonReadyClass = cls
 				s.FirstNonReadyMissDepth = depth
 			}
-			c.noteWaiting(s, e, &oldestVFPSeen, cls, isLoad)
+			c.noteWaiting(s, op, &oldestVFPSeen, cls, isLoad)
 			kept = append(kept, slot)
 			continue
 		}
 
-		if c.p.MemDisambiguation && e.u.Op == trace.OpLoad && c.memConflict(e) {
+		if c.p.MemDisambiguation && op == trace.OpLoad && c.memConflict(slot) {
 			// Load blocked behind an older in-flight store to its line: the
 			// issue-only "memory address conflict" structural stall.
 			if !s.IssueBlockedPort && !s.IssueBlockedMemOrder {
 				s.IssueBlockedMemOrder = true
 			}
-			c.noteWaiting(s, e, &oldestVFPSeen, core.ProdNone, false)
+			c.noteWaiting(s, op, &oldestVFPSeen, core.ProdNone, false)
 			kept = append(kept, slot)
 			continue
 		}
 
-		if !c.portFree(&ports, e.u.Op) {
+		if !c.portFree(&ports, op) {
 			// Ready but structurally blocked: stays in the RS; if it is the
 			// oldest waiting entry the stall is structural (ProdNone).
 			if !s.IssueBlockedPort && !s.IssueBlockedMemOrder {
 				s.IssueBlockedPort = true
 			}
-			c.noteWaiting(s, e, &oldestVFPSeen, core.ProdNone, false)
+			c.noteWaiting(s, op, &oldestVFPSeen, core.ProdNone, false)
 			kept = append(kept, slot)
 			continue
 		}
 
-		c.execute(s, e)
+		c.execute(s, slot)
 		issued++
 	}
 	c.rs = kept
@@ -466,8 +465,8 @@ func (c *Core) issue(s *core.CycleSample) {
 
 // noteWaiting records Table III's oldest-waiting-VFP signals for an entry
 // that stays in the RS this cycle.
-func (c *Core) noteWaiting(s *core.CycleSample, e *robEntry, oldestSeen *bool, cls core.ProdClass, producerIsLoad bool) {
-	if !e.u.Op.IsVFP() {
+func (c *Core) noteWaiting(s *core.CycleSample, op trace.Op, oldestSeen *bool, cls core.ProdClass, producerIsLoad bool) {
+	if !op.IsVFP() {
 		return
 	}
 	s.VFPInRS = true
@@ -479,18 +478,19 @@ func (c *Core) noteWaiting(s *core.CycleSample, e *robEntry, oldestSeen *bool, c
 	s.OldestVFPWaitsLoad = producerIsLoad
 }
 
-// srcScan walks e's source operands once, fusing the two passes the issue
-// loop used to make (readiness check, then blame assignment). It returns
-// the latest ready time over issued producers, whether every producer has
-// issued, and the first source that is not available this cycle — the
-// blamed producer of Table II's issue column (trace.NoProducer when all
-// sources are available). The blame rule is identical to the old
+// srcScan walks the slot's source operands once, fusing the two passes the
+// issue loop used to make (readiness check, then blame assignment). It
+// returns the latest ready time over issued producers, whether every
+// producer has issued, and the first source that is not available this
+// cycle — the blamed producer of Table II's issue column (trace.NoProducer
+// when all sources are available). The blame rule is identical to the old
 // blamedProducer: first operand, in order, with an unissued or
-// still-executing producer.
-func (c *Core) srcScan(e *robEntry) (latest int64, allIssued bool, blamed uint64) {
+// still-executing producer. The walk touches only the ROB's dense uop array
+// and the scoreboard's parallel done/meta columns.
+func (c *Core) srcScan(slot int) (latest int64, allIssued bool, blamed uint64) {
 	blamed = trace.NoProducer
 	allIssued = true
-	for _, src := range e.u.Src {
+	for _, src := range c.rob.u[slot].Src {
 		if src == trace.NoProducer {
 			continue
 		}
@@ -570,8 +570,9 @@ func (c *Core) portFree(ports *portsInUse, op trace.Op) bool {
 
 // memConflict reports whether an older in-flight store to the load's line
 // has not yet completed; completed and squashed entries are pruned.
-func (c *Core) memConflict(load *robEntry) bool {
-	line := load.u.Addr >> 6
+func (c *Core) memConflict(slot int) bool {
+	line := c.rob.u[slot].Addr >> 6
+	seq := c.rob.u[slot].Seq
 	kept := c.pendingStores[:0]
 	conflict := false
 	for _, ps := range c.pendingStores {
@@ -579,7 +580,7 @@ func (c *Core) memConflict(load *robEntry) bool {
 			continue // store complete: no longer a hazard
 		}
 		kept = append(kept, ps)
-		if ps.line == line && older(ps.seq, load.u.Seq) {
+		if ps.line == line && older(ps.seq, seq) {
 			conflict = true
 		}
 	}
@@ -599,66 +600,71 @@ func older(a, b uint64) bool {
 }
 
 // execute issues one ready uop to its functional unit.
-func (c *Core) execute(s *core.CycleSample, e *robEntry) {
+func (c *Core) execute(s *core.CycleSample, slot int) {
+	u := &c.rob.u[slot]
 	var doneAt int64
 	var miss bool
+	var missDepth uint8
 	//simlint:partial only memory ops touch the hierarchy; every other op completes after its precomputed latency
-	switch e.u.Op {
+	switch u.Op {
 	case trace.OpLoad:
 		var depth int
-		doneAt, depth = c.hier.DataDepth(e.u.Addr, c.now, false)
+		doneAt, depth = c.hier.DataDepth(u.Addr, c.now, false)
 		miss = depth > 0
-		e.lat = doneAt - c.now
-		e.dcacheMiss = miss
-		e.missDepth = uint8(depth)
-		if !e.u.WrongPath {
+		missDepth = uint8(depth)
+		c.rob.lat[slot] = doneAt - c.now
+		if miss {
+			c.rob.flags[slot] |= robDcacheMiss
+		}
+		c.rob.depth[slot] = missDepth
+		if !u.WrongPath {
 			c.Stats.Loads++
 		}
 	case trace.OpStore:
 		// Stores complete into the store buffer; the cache access charges
 		// hierarchy state (fills, MSHRs, bandwidth) without blocking retire.
-		c.hier.Data(e.u.Addr, c.now, true)
+		c.hier.Data(u.Addr, c.now, true)
 		doneAt = c.now + c.p.Lat.Store
 		if c.p.MemDisambiguation {
 			for i := range c.pendingStores {
-				if c.pendingStores[i].seq == e.u.Seq {
+				if c.pendingStores[i].seq == u.Seq {
 					c.pendingStores[i].issued = true
 					c.pendingStores[i].doneAt = doneAt
 					break
 				}
 			}
 		}
-		if !e.u.WrongPath {
+		if !u.WrongPath {
 			c.Stats.Stores++
 		}
 	default:
-		doneAt = c.now + e.lat
+		doneAt = c.now + c.rob.lat[slot]
 	}
-	e.issued = true
-	e.doneAt = doneAt
-	c.sb.issue(e.u.Seq, doneAt, e.lat, miss, e.missDepth)
+	c.rob.flags[slot] |= robIssued
+	c.rob.doneAt[slot] = doneAt
+	c.sb.issue(u.Seq, doneAt, c.rob.lat[slot], miss, missDepth)
 
-	if e.mispredict {
+	if c.rob.flags[slot]&robMispredict != 0 {
 		c.hasResolve = true
 		c.resolveAt = doneAt
-		c.resolveSeq = e.u.Seq
+		c.resolveSeq = u.Seq
 	}
 
-	if e.u.WrongPath {
+	if u.WrongPath {
 		s.IssueWrongN++
-		s.IssueYoungest = e.u.Seq
+		s.IssueYoungest = u.Seq
 		return
 	}
 	s.IssueN++
-	s.IssueYoungest = e.u.Seq
+	s.IssueYoungest = u.Seq
 
-	if e.u.Op.IsVFP() {
+	if u.Op.IsVFP() {
 		s.VFPIssued++
-		s.VFPActiveLanes += e.u.ActiveLanes()
-		s.VFPFlops += e.u.FLOPs()
+		s.VFPActiveLanes += u.ActiveLanes()
+		s.VFPFlops += u.FLOPs()
 		c.Stats.VFPUops++
-		c.Stats.FLOPs += uint64(e.u.FLOPs())
-	} else if e.u.Op.UsesVectorUnit() {
+		c.Stats.FLOPs += uint64(u.FLOPs())
+	} else if u.Op.UsesVectorUnit() {
 		s.VUNonVFP++
 	}
 }
@@ -674,18 +680,12 @@ func (c *Core) dispatch(s *core.CycleSample) {
 			s.RSFull = true
 			break
 		}
-		fe, ok := c.fe.pop()
+		u, mispredict, ok := c.fe.pop()
 		if !ok {
 			s.FEEmpty = true
 			break
 		}
-		u := &fe.u
-		slot, e := c.rob.pushSlot()
-		*e = robEntry{
-			u:          *u,
-			lat:        c.p.latency(u.Op),
-			mispredict: fe.mispredict,
-		}
+		slot := c.rob.push(u, c.p.latency(u.Op), mispredict)
 		c.sb.allocate(u.Seq, u.Op == trace.OpLoad)
 		c.rs = append(c.rs, slot)
 		if c.p.MemDisambiguation && u.Op == trace.OpStore {
@@ -702,7 +702,7 @@ func (c *Core) dispatch(s *core.CycleSample) {
 			if u.Op.IsBranch() {
 				c.Stats.Branches++
 			}
-			if fe.mispredict {
+			if mispredict {
 				c.Stats.Mispredicts++
 			}
 		}
@@ -732,7 +732,7 @@ func (c *Core) squashWrongPath() {
 	if removed > 0 {
 		kept := c.rs[:0]
 		for _, slot := range c.rs {
-			if c.rob.at(slot).u.WrongPath {
+			if c.rob.u[slot].WrongPath {
 				continue
 			}
 			kept = append(kept, slot)

@@ -7,12 +7,6 @@ import (
 	"perfstacks/internal/trace"
 )
 
-// feEntry is one decoded uop waiting for dispatch.
-type feEntry struct {
-	u          trace.Uop
-	mispredict bool
-}
-
 // feBatch is the trace ingestion batch size: how many uops the frontend
 // pulls per BatchReader refill. One interface call per feBatch uops replaces
 // the per-uop Next dispatch of the scalar path.
@@ -35,8 +29,11 @@ type frontend struct {
 	hier *cache.Hierarchy
 	pred bpred.Predictor
 
-	queue []feEntry // decoded-uop ring; len(queue) is a power of two
-	qCap  int       // logical capacity (Params.FEQueueSize)
+	// Decoded-uop ring as parallel arrays (uop payloads and their mispredict
+	// marks); len(qu) is a power of two.
+	qu    []trace.Uop
+	qMisp []bool
+	qCap  int // logical capacity (Params.FEQueueSize)
 	qMask int
 	qHead int
 	qLen  int
@@ -73,7 +70,8 @@ func newFrontend(p *Params, tr trace.Reader, hier *cache.Hierarchy, pred bpred.P
 		br:    trace.AsBatch(tr),
 		hier:  hier,
 		pred:  pred,
-		queue: make([]feEntry, qSize),
+		qu:    make([]trace.Uop, qSize),
+		qMisp: make([]bool, qSize),
 		qCap:  p.FEQueueSize,
 		qMask: qSize - 1,
 		buf:   make([]trace.Uop, feBatch),
@@ -84,22 +82,24 @@ func newFrontend(p *Params, tr trace.Reader, hier *cache.Hierarchy, pred bpred.P
 func (f *frontend) queueEmpty() bool { return f.qLen == 0 }
 func (f *frontend) queueFull() bool  { return f.qLen == f.qCap }
 
-func (f *frontend) push(e feEntry) {
-	f.queue[(f.qHead+f.qLen)&f.qMask] = e
+func (f *frontend) push(u *trace.Uop, mispredict bool) {
+	slot := (f.qHead + f.qLen) & f.qMask
+	f.qu[slot] = *u
+	f.qMisp[slot] = mispredict
 	f.qLen++
 }
 
 // pop removes the next decoded uop; ok=false when the queue is empty. The
 // returned pointer aliases the ring slot: it stays valid until the next
 // push (dispatch drains the queue strictly before fetch refills it).
-func (f *frontend) pop() (*feEntry, bool) {
+func (f *frontend) pop() (u *trace.Uop, mispredict, ok bool) {
 	if f.qLen == 0 {
-		return nil, false
+		return nil, false, false
 	}
-	e := &f.queue[f.qHead]
+	slot := f.qHead
 	f.qHead = (f.qHead + 1) & f.qMask
 	f.qLen--
-	return e, true
+	return &f.qu[slot], f.qMisp[slot], true
 }
 
 // cause reports why the frontend cannot deliver more uops right now.
@@ -183,7 +183,7 @@ func (f *frontend) fill(now int64) (fetched int, queueFull bool) {
 		if u.MicrocodeCycles > 0 {
 			f.stallUntil = now + int64(u.MicrocodeCycles)
 			f.stallCause = core.FEMicrocode
-			f.push(feEntry{u: *u})
+			f.push(u, false)
 			f.consume()
 			return fetched + 1, false
 		}
@@ -194,7 +194,7 @@ func (f *frontend) fill(now int64) (fetched int, queueFull bool) {
 			out := f.pred.Lookup(u)
 			misp = out.Mispredicted
 		}
-		f.push(feEntry{u: *u, mispredict: misp})
+		f.push(u, misp)
 		f.consume()
 		fetched++
 		if misp {
@@ -238,7 +238,7 @@ func (f *frontend) fillWrongPath(now int64) {
 			u.Op = trace.OpMul
 		}
 		f.wpSeq++
-		f.push(feEntry{u: u})
+		f.push(&u, false)
 	}
 }
 
@@ -256,11 +256,15 @@ func (f *frontend) resolve(now int64) {
 func (f *frontend) squashQueue() {
 	kept := 0
 	for i := 0; i < f.qLen; i++ {
-		e := f.queue[(f.qHead+i)&f.qMask]
-		if e.u.WrongPath {
+		from := (f.qHead + i) & f.qMask
+		if f.qu[from].WrongPath {
 			continue
 		}
-		f.queue[(f.qHead+kept)&f.qMask] = e
+		to := (f.qHead + kept) & f.qMask
+		if to != from {
+			f.qu[to] = f.qu[from]
+			f.qMisp[to] = f.qMisp[from]
+		}
 		kept++
 	}
 	f.qLen = kept

@@ -25,15 +25,15 @@ func TestFrontendQueueFIFO(t *testing.T) {
 		fe.fill(cyc)
 	}
 	for i := 0; i < 5; i++ {
-		e, ok := fe.pop()
+		u, _, ok := fe.pop()
 		if !ok {
 			t.Fatalf("queue ran dry at %d", i)
 		}
-		if e.u.Seq != uint64(i) {
-			t.Fatalf("pop %d returned seq %d", i, e.u.Seq)
+		if u.Seq != uint64(i) {
+			t.Fatalf("pop %d returned seq %d", i, u.Seq)
 		}
 	}
-	if _, ok := fe.pop(); ok {
+	if _, _, ok := fe.pop(); ok {
 		t.Fatal("queue should be empty")
 	}
 }
@@ -88,8 +88,8 @@ func TestFrontendWrongPathStallsUntilResolve(t *testing.T) {
 	for cyc := int64(0); cyc < 400 && fe.qLen == 0; cyc++ {
 		fe.fill(cyc)
 	}
-	e, ok := fe.pop()
-	if !ok || !e.mispredict {
+	_, mispredict, ok := fe.pop()
+	if !ok || !mispredict {
 		t.Fatal("branch should have been delivered as mispredicted")
 	}
 	if !fe.wrongPath {
@@ -141,21 +141,21 @@ func TestFrontendSynthesizesWrongPath(t *testing.T) {
 	}
 	fe.pop() // the branch
 	fe.fill(500)
-	e, ok := fe.pop()
-	if !ok || !e.u.WrongPath {
+	u, _, ok := fe.pop()
+	if !ok || !u.WrongPath {
 		t.Fatal("synth mode should deliver wrong-path uops")
 	}
-	if e.u.Seq&wpBit == 0 {
+	if u.Seq&wpBit == 0 {
 		t.Fatal("wrong-path uops must use the wrong-path sequence space")
 	}
 	// Squash drops queued wrong-path uops but keeps correct-path ones.
 	fe.squashQueue()
 	for {
-		e, ok := fe.pop()
+		u, _, ok := fe.pop()
 		if !ok {
 			break
 		}
-		if e.u.WrongPath {
+		if u.WrongPath {
 			t.Fatal("squashQueue left a wrong-path uop behind")
 		}
 	}
@@ -217,49 +217,52 @@ func TestROBRing(t *testing.T) {
 		t.Fatal("fresh ROB state wrong")
 	}
 	for i := 0; i < 4; i++ {
-		r.push(robEntry{u: trace.Uop{Seq: uint64(i)}})
+		r.push(&trace.Uop{Seq: uint64(i)}, 1, false)
 	}
 	if !r.full() {
 		t.Fatal("ROB should be full")
 	}
-	if r.headEntry().u.Seq != 0 {
+	if r.u[r.headSlot()].Seq != 0 {
 		t.Fatal("head should be the oldest entry")
 	}
 	r.pop()
-	r.push(robEntry{u: trace.Uop{Seq: 4}})
-	if r.headEntry().u.Seq != 1 {
+	r.push(&trace.Uop{Seq: 4}, 1, false)
+	if r.u[r.headSlot()].Seq != 1 {
 		t.Fatal("ring order broken after wrap")
 	}
 }
 
 func TestROBPopTailWrongPath(t *testing.T) {
 	r := newROB(8)
-	r.push(robEntry{u: trace.Uop{Seq: 0}})
-	r.push(robEntry{u: trace.Uop{Seq: 1, WrongPath: true}})
-	r.push(robEntry{u: trace.Uop{Seq: 2, WrongPath: true}})
+	r.push(&trace.Uop{Seq: 0}, 1, false)
+	r.push(&trace.Uop{Seq: 1, WrongPath: true}, 1, false)
+	r.push(&trace.Uop{Seq: 2, WrongPath: true}, 1, false)
 	if n := r.popTailWrongPath(); n != 2 {
 		t.Fatalf("squashed %d, want 2", n)
 	}
-	if r.len() != 1 || r.headEntry().u.Seq != 0 {
+	if r.len() != 1 || r.u[r.headSlot()].Seq != 0 {
 		t.Fatal("correct-path entry should survive the squash")
 	}
 }
 
 func TestClassifyHeadEntry(t *testing.T) {
-	load := &robEntry{u: trace.Uop{Op: trace.OpLoad}, issued: true, dcacheMiss: true, lat: 100}
-	if classify(load) != core.ProdDCache {
+	r := newROB(8)
+	load := r.push(&trace.Uop{Op: trace.OpLoad}, 100, false)
+	r.flags[load] |= robIssued | robDcacheMiss
+	if r.classify(load) != core.ProdDCache {
 		t.Fatal("missing load should classify DCache")
 	}
-	hit := &robEntry{u: trace.Uop{Op: trace.OpLoad}, issued: true, lat: 4}
-	if classify(hit) != core.ProdLongLat {
+	hit := r.push(&trace.Uop{Op: trace.OpLoad}, 4, false)
+	r.flags[hit] |= robIssued
+	if r.classify(hit) != core.ProdLongLat {
 		t.Fatal("hit load has latency > 1: ALU class per Table II")
 	}
-	mul := &robEntry{u: trace.Uop{Op: trace.OpMul}, lat: 3}
-	if classify(mul) != core.ProdLongLat {
+	mul := r.push(&trace.Uop{Op: trace.OpMul}, 3, false)
+	if r.classify(mul) != core.ProdLongLat {
 		t.Fatal("mul should classify long-latency")
 	}
-	a := &robEntry{u: trace.Uop{Op: trace.OpALU}, lat: 1}
-	if classify(a) != core.ProdDepend {
+	a := r.push(&trace.Uop{Op: trace.OpALU}, 1, false)
+	if r.classify(a) != core.ProdDepend {
 		t.Fatal("single-cycle op should classify dependence")
 	}
 }

@@ -9,29 +9,32 @@ import (
 // counter space so they never collide with trace sequence numbers.
 const wpBit = uint64(1) << 63
 
-// robEntry is one in-flight uop.
-type robEntry struct {
-	u          trace.Uop
-	lat        int64
-	doneAt     int64
-	issued     bool
-	dcacheMiss bool
-	missDepth  uint8 // cache levels missed by a load (0 = L1 hit)
-	mispredict bool  // branch that was mispredicted (resolves at doneAt)
-}
+// Per-entry ROB status flags (rob.flags).
+const (
+	robIssued uint8 = 1 << iota
+	robDcacheMiss
+	robMispredict // branch that was mispredicted (resolves at doneAt)
+)
 
-func (e *robEntry) doneBy(now int64) bool { return e.issued && e.doneAt <= now }
-
-// rob is a ring-buffer reorder buffer. The ring is sized to the next power
-// of two above the architectural capacity so the per-uop slot arithmetic is
-// a mask instead of an integer division (ROB sizes like 224 are not powers
-// of two, and the modulo showed up hot in profiles).
+// rob is a ring-buffer reorder buffer laid out as a structure of arrays: the
+// uop payloads, latencies, completion times and status flags live in dense
+// parallel slices, so the issue loop's hot walks (srcScan over u[slot].Src,
+// the per-slot flag checks) touch narrow homogeneous arrays instead of
+// striding over one wide struct. The ring is sized to the next power of two
+// above the architectural capacity so the per-uop slot arithmetic is a mask
+// instead of an integer division (ROB sizes like 224 are not powers of two,
+// and the modulo showed up hot in profiles).
 type rob struct {
-	entries []robEntry
-	mask    int // len(entries) - 1
-	cap     int // architectural capacity (<= len(entries))
-	head    int
-	count   int
+	u      []trace.Uop
+	lat    []int64
+	doneAt []int64
+	flags  []uint8
+	depth  []uint8 // cache levels missed by a load (0 = L1 hit)
+
+	mask  int // len(u) - 1
+	cap   int // architectural capacity (<= len(u))
+	head  int
+	count int
 }
 
 func newROB(size int) *rob {
@@ -39,35 +42,49 @@ func newROB(size int) *rob {
 	for ring < size {
 		ring <<= 1
 	}
-	return &rob{entries: make([]robEntry, ring), mask: ring - 1, cap: size}
+	return &rob{
+		u:      make([]trace.Uop, ring),
+		lat:    make([]int64, ring),
+		doneAt: make([]int64, ring),
+		flags:  make([]uint8, ring),
+		depth:  make([]uint8, ring),
+		mask:   ring - 1,
+		cap:    size,
+	}
 }
 
 func (r *rob) full() bool  { return r.count == r.cap }
 func (r *rob) empty() bool { return r.count == 0 }
 func (r *rob) len() int    { return r.count }
 
-// push allocates the tail entry and returns its slot index.
-func (r *rob) push(e robEntry) int {
-	slot, p := r.pushSlot()
-	*p = e
+// push allocates the tail slot for u and returns its index. The slot's
+// timing and status columns are reset in place.
+func (r *rob) push(u *trace.Uop, lat int64, mispredict bool) int {
+	slot := (r.head + r.count) & r.mask
+	r.count++
+	r.u[slot] = *u
+	r.lat[slot] = lat
+	r.doneAt[slot] = 0
+	var f uint8
+	if mispredict {
+		f = robMispredict
+	}
+	r.flags[slot] = f
+	r.depth[slot] = 0
 	return slot
 }
 
-// pushSlot allocates the tail entry and returns its slot index and pointer,
-// letting the dispatch stage initialize the entry in place instead of
-// copying a robEntry through push's parameter.
-func (r *rob) pushSlot() (int, *robEntry) {
-	slot := (r.head + r.count) & r.mask
-	r.count++
-	return slot, &r.entries[slot]
+// headSlot returns the oldest in-flight slot (-1 when empty).
+func (r *rob) headSlot() int {
+	if r.count == 0 {
+		return -1
+	}
+	return r.head
 }
 
-// headEntry returns the oldest in-flight entry (nil when empty).
-func (r *rob) headEntry() *robEntry {
-	if r.count == 0 {
-		return nil
-	}
-	return &r.entries[r.head]
+// doneBy reports whether the slot's uop has issued and completed by now.
+func (r *rob) doneBy(slot int, now int64) bool {
+	return r.flags[slot]&robIssued != 0 && r.doneAt[slot] <= now
 }
 
 // pop retires the head entry.
@@ -82,7 +99,7 @@ func (r *rob) popTailWrongPath() int {
 	n := 0
 	for r.count > 0 {
 		slot := (r.head + r.count - 1) & r.mask
-		if !r.entries[slot].u.WrongPath {
+		if !r.u[slot].WrongPath {
 			break
 		}
 		r.count--
@@ -91,56 +108,46 @@ func (r *rob) popTailWrongPath() int {
 	return n
 }
 
-// at returns the entry at a slot index.
-func (r *rob) at(slot int) *robEntry { return &r.entries[slot] }
-
-// headClass classifies the ROB head per Table II lines 10-16: a load with an
-// outstanding D-cache miss charges the D-cache component; an instruction
-// with latency > 1 charges the ALU latency component; a single-cycle
-// instruction charges the dependence component.
-func (r *rob) headClass() core.ProdClass {
-	h := r.headEntry()
-	if h == nil {
-		return core.ProdNone
-	}
-	return classify(h)
-}
-
-// classify applies the paper's blamed-instruction classification.
-func classify(e *robEntry) core.ProdClass {
-	if e.u.Op == trace.OpLoad {
-		if e.dcacheMiss {
+// classify applies the paper's blamed-instruction classification (Table II
+// lines 10-16) to a slot: a load with an outstanding D-cache miss charges
+// the D-cache component; an instruction with latency > 1 charges the ALU
+// latency component; a single-cycle instruction charges dependence.
+func (r *rob) classify(slot int) core.ProdClass {
+	if r.u[slot].Op == trace.OpLoad {
+		if r.flags[slot]&robDcacheMiss != 0 {
 			return core.ProdDCache
 		}
 		// A hit load still has multi-cycle latency.
 		return core.ProdLongLat
 	}
-	if e.lat > 1 {
+	if r.lat[slot] > 1 {
 		return core.ProdLongLat
 	}
 	return core.ProdDepend
 }
 
-// scoreEntry records a producer's execution status for dependence lookups.
-type scoreEntry struct {
-	doneAt    int64
-	lat       int64
-	issued    bool
-	isLoad    bool
-	miss      bool
-	missDepth uint8
-}
+// Scoreboard status flags (scoreboard.meta, low nibble); the high nibble
+// holds the producer's miss depth.
+const (
+	sbIssued uint8 = 1 << iota
+	sbIsLoad
+	sbMiss
+	sbLongLat // latency > 1, precomputed at issue
+)
 
 // scoreboard tracks producer readiness by sequence number. Correct-path and
 // wrong-path uops have separate dense counter spaces; each space is a ring
 // sized to the next power of two above the in-flight window, so the per-seq
-// slot lookup is a mask rather than a division (slot() is the single
-// hottest call in the issue loop). Producers older than the in-flight
-// window have committed and are always ready.
+// slot lookup is a mask rather than a division (idx() is the single hottest
+// call in the issue loop). The two spaces share one pair of parallel arrays
+// — completion times and packed status bytes — with the wrong-path half at
+// offset size, so idx() is branch-free on the wpBit. Producers older than
+// the in-flight window have committed and are always ready.
 type scoreboard struct {
-	cp       []scoreEntry
-	wp       []scoreEntry
-	mask     uint64 // len(cp) - 1 == len(wp) - 1
+	done     []int64 // len 2*size: correct-path space, then wrong-path space
+	meta     []uint8
+	mask     uint64 // size - 1
+	size     uint64
 	oldestCP uint64 // sequence numbers below this have committed
 }
 
@@ -150,32 +157,42 @@ func newScoreboard(window int) *scoreboard {
 		size <<= 1
 	}
 	return &scoreboard{
-		cp:   make([]scoreEntry, size),
-		wp:   make([]scoreEntry, size),
+		done: make([]int64, 2*size),
+		meta: make([]uint8, 2*size),
 		mask: uint64(size - 1),
+		size: uint64(size),
 	}
 }
 
-func (s *scoreboard) slot(seq uint64) *scoreEntry {
-	if seq&wpBit != 0 {
-		return &s.wp[seq&s.mask]
-	}
-	return &s.cp[seq&s.mask]
+// idx maps a sequence number to its slot: the masked counter, offset into
+// the wrong-path half when the wpBit is set.
+func (s *scoreboard) idx(seq uint64) uint64 {
+	return seq&s.mask + (seq>>63)*s.size
 }
 
 // allocate resets the producer record when a uop dispatches.
 func (s *scoreboard) allocate(seq uint64, isLoad bool) {
-	*s.slot(seq) = scoreEntry{isLoad: isLoad}
+	i := s.idx(seq)
+	s.done[i] = 0
+	var m uint8
+	if isLoad {
+		m = sbIsLoad
+	}
+	s.meta[i] = m
 }
 
 // issue records execution results.
 func (s *scoreboard) issue(seq uint64, doneAt, lat int64, miss bool, missDepth uint8) {
-	e := s.slot(seq)
-	e.issued = true
-	e.doneAt = doneAt
-	e.lat = lat
-	e.miss = miss
-	e.missDepth = missDepth
+	i := s.idx(seq)
+	s.done[i] = doneAt
+	m := s.meta[i] | sbIssued | missDepth<<4
+	if miss {
+		m |= sbMiss
+	}
+	if lat > 1 {
+		m |= sbLongLat
+	}
+	s.meta[i] = m
 }
 
 // readyAt returns when the producer's result is available, or (0,true) for
@@ -187,11 +204,11 @@ func (s *scoreboard) readyAt(seq uint64) (int64, bool) {
 	if seq&wpBit == 0 && seq < s.oldestCP {
 		return 0, true
 	}
-	e := s.slot(seq)
-	if !e.issued {
+	i := s.idx(seq)
+	if s.meta[i]&sbIssued == 0 {
 		return 0, false
 	}
-	return e.doneAt, true
+	return s.done[i], true
 }
 
 // producerClass classifies a producer for issue-stage accounting (Table II,
@@ -206,23 +223,18 @@ func (s *scoreboard) producerClassDepth(seq uint64) (cls core.ProdClass, isLoad 
 	if seq == trace.NoProducer || (seq&wpBit == 0 && seq < s.oldestCP) {
 		return core.ProdNone, false, 0
 	}
-	e := s.slot(seq)
-	if e.isLoad {
-		if e.issued && e.miss {
-			return core.ProdDCache, true, e.missDepth
+	m := s.meta[s.idx(seq)]
+	if m&sbIsLoad != 0 {
+		if m&(sbIssued|sbMiss) == sbIssued|sbMiss {
+			return core.ProdDCache, true, m >> 4
 		}
 		return core.ProdLongLat, true, 0
 	}
-	if e.issued && e.lat > 1 {
+	if m&(sbIssued|sbLongLat) == sbIssued|sbLongLat {
 		return core.ProdLongLat, false, 0
 	}
-	if !e.issued {
-		// The producer itself is waiting: a dependence-chain stall.
-		return core.ProdDepend, false, 0
-	}
-	if e.lat > 1 {
-		return core.ProdLongLat, false, 0
-	}
+	// Unissued producers and issued single-cycle ones are dependence-chain
+	// stalls either way.
 	return core.ProdDepend, false, 0
 }
 

@@ -11,9 +11,12 @@ import "context"
 type SMP struct {
 	Cores []*Core
 
-	waiting  int
-	running  int
-	finished []bool
+	// active holds the indices of unfinished cores in core order, compacted
+	// as cores finish: late-finishing mixes step only the cores still alive
+	// instead of re-scanning (and re-branching on) every finished slot.
+	active []int
+
+	waiting int
 
 	ctx      context.Context
 	canceled bool
@@ -22,11 +25,11 @@ type SMP struct {
 // NewSMP wires the cores' barrier callbacks together.
 func NewSMP(cores []*Core) *SMP {
 	s := &SMP{
-		Cores:    cores,
-		running:  len(cores),
-		finished: make([]bool, len(cores)),
+		Cores:  cores,
+		active: make([]int, len(cores)),
 	}
-	for _, c := range cores {
+	for i, c := range cores {
+		s.active[i] = i
 		c.SetBarrierWaiter(func(*Core) { s.waiting++ })
 	}
 	return s
@@ -34,11 +37,11 @@ func NewSMP(cores []*Core) *SMP {
 
 // releaseIfAll releases all yielded cores once every unfinished core waits.
 func (s *SMP) releaseIfAll() {
-	if s.waiting == 0 || s.waiting < s.running {
+	if s.waiting == 0 || s.waiting < len(s.active) {
 		return
 	}
-	for _, c := range s.Cores {
-		if c.Yielded() {
+	for _, i := range s.active {
+		if c := s.Cores[i]; c.Yielded() {
 			c.ReleaseBarrier()
 		}
 	}
@@ -46,24 +49,24 @@ func (s *SMP) releaseIfAll() {
 }
 
 // Step advances every unfinished core one cycle; it returns false when all
-// cores have finished.
+// cores have finished. Finished cores are compacted out of the active list
+// in order, so the relative stepping (and shared-uncore access) order of the
+// survivors is unchanged.
 func (s *SMP) Step() bool {
-	if s.running == 0 {
+	if len(s.active) == 0 {
 		return false
 	}
-	for i, c := range s.Cores {
-		if s.finished[i] {
-			continue
+	kept := s.active[:0]
+	for _, i := range s.active {
+		if s.Cores[i].Step() {
+			kept = append(kept, i)
 		}
-		if !c.Step() {
-			s.finished[i] = true
-			s.running--
-			// A finished core can no longer reach barriers; avoid deadlock
-			// by recounting the waiters threshold.
-		}
+		// A finished core can no longer reach barriers; dropping it from the
+		// active list recounts the waiters threshold and avoids deadlock.
 	}
+	s.active = kept
 	s.releaseIfAll()
-	return s.running > 0
+	return len(s.active) > 0
 }
 
 // SetContext installs a context for cooperative cancellation of Run. The

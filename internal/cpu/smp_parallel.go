@@ -1,0 +1,215 @@
+package cpu
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"perfstacks/internal/cache"
+)
+
+// ParallelSMP steps each core on its own persistent goroutine, coupling them
+// only through the cache package's epoch gate (shared-uncore access order)
+// and the barrier bookkeeping below. Results are byte-identical to SMP's
+// sequential lockstep: the gate drains shared accesses in ascending
+// (cycle, core) order — exactly the order SMP.Step produces — and barriers
+// release at the same simulated cycle the sequential harness would pick.
+//
+// Worker goroutines are persistent for the whole run (one per core); the Go
+// scheduler multiplexes them over GOMAXPROCS OS threads, so the pool is
+// implicitly bounded by GOMAXPROCS without any explicit sharding.
+type ParallelSMP struct {
+	Cores []*Core
+
+	gate  *cache.EpochGate
+	ports []*cache.EpochPort
+
+	ctx      context.Context
+	canceled atomic.Bool
+
+	mu          sync.Mutex
+	nUnfinished int
+	nParked     int
+	parked      []bool
+	// maxEvent is the running maximum over every yield cycle and finish cycle
+	// seen so far. At the instant every unfinished core is parked it equals
+	// the sequential release cycle: the first lockstep cycle at whose end
+	// waiting == running, i.e. the latest arrival (yield or finish) gating
+	// the release. Yields from earlier rounds never win the max — each round
+	// resumes past the previous release cycle, which bounded them.
+	maxEvent int64
+	releaseC []chan int64
+}
+
+// NewParallelSMP builds the parallel harness over cores and the epoch gate
+// whose ports the cores' hierarchies were built on. Installing a barrier
+// waiter (even one with no sequential bookkeeping) is what makes cores yield
+// at barrier uops — and, critically, what keeps event-driven stall skipping
+// disabled, so every core publishes progress cycle by cycle.
+func NewParallelSMP(cores []*Core, gate *cache.EpochGate) *ParallelSMP {
+	s := &ParallelSMP{
+		Cores:       cores,
+		gate:        gate,
+		ports:       make([]*cache.EpochPort, len(cores)),
+		nUnfinished: len(cores),
+		parked:      make([]bool, len(cores)),
+		releaseC:    make([]chan int64, len(cores)),
+	}
+	for i, c := range cores {
+		s.ports[i] = gate.Port(i)
+		s.releaseC[i] = make(chan int64, 1)
+		c.SetBarrierWaiter(func(*Core) {})
+	}
+	return s
+}
+
+// SetContext installs a context for cooperative cancellation of Run: a
+// watcher goroutine trips the whole gang when it fires.
+func (s *ParallelSMP) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Canceled reports whether Run stopped early because its context was done.
+func (s *ParallelSMP) Canceled() bool { return s.canceled.Load() }
+
+// Run steps all cores to completion on one goroutine each.
+func (s *ParallelSMP) Run() {
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	if s.ctx != nil {
+		done := s.ctx.Done()
+		go func() {
+			select {
+			case <-done:
+				s.triggerCancel()
+			case <-stop:
+			}
+		}()
+	}
+	for i := range s.Cores {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.worker(i)
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+}
+
+// worker is core i's stepping loop. Begin publishes the step's cycle to the
+// gate before the step runs, so any shared access the step makes is ordered
+// at (cycle, i); a yield parks the core and replays the barrier-wait cycles
+// (the Unsched window) after the release cycle is known.
+func (s *ParallelSMP) worker(i int) {
+	c := s.Cores[i]
+	port := s.ports[i]
+	for {
+		if s.canceled.Load() {
+			return
+		}
+		port.Begin(c.Now())
+		if !c.Step() {
+			// The finishing step ran at Now()-1; that is the cycle the
+			// sequential harness would observe the core leave the gang.
+			s.finish(i, c.Now()-1)
+			return
+		}
+		if c.Yielded() {
+			// The yield happened mid-commit of the step that just ran, at
+			// cycle Now()-1. Park, wait for the release cycle, then replay
+			// the barrier-wait window: the sequential core steps (and emits
+			// Unsched samples for) every cycle from yield+1 through the
+			// release cycle inclusive, and resumes the cycle after.
+			release, ok := s.parkAtBarrier(i, c.Now()-1)
+			if !ok {
+				return
+			}
+			for c.Now() <= release {
+				c.Step()
+			}
+			c.ReleaseBarrier()
+		}
+	}
+}
+
+// parkAtBarrier registers core i as waiting at a barrier since cycle y and
+// blocks until the round releases. It returns the release cycle, or ok=false
+// when the gang was canceled while parked.
+func (s *ParallelSMP) parkAtBarrier(i int, y int64) (release int64, ok bool) {
+	// Withdraw from the epoch order first: a parked core emits no shared
+	// accesses, and its withdrawal may unblock a sibling's pending access.
+	s.ports[i].Park()
+	s.mu.Lock()
+	if s.canceled.Load() {
+		s.mu.Unlock()
+		return 0, false
+	}
+	if y > s.maxEvent {
+		s.maxEvent = y
+	}
+	s.parked[i] = true
+	s.nParked++
+	if s.nParked == s.nUnfinished {
+		s.releaseLocked()
+	}
+	s.mu.Unlock()
+	r := <-s.releaseC[i]
+	if r < 0 {
+		return 0, false
+	}
+	return r, true
+}
+
+// finish removes core i (whose last step ran at cycle f) from the gang. If
+// the survivors are all parked, the finish is the arrival that releases them.
+func (s *ParallelSMP) finish(i int, f int64) {
+	s.ports[i].Finish()
+	s.mu.Lock()
+	if f > s.maxEvent {
+		s.maxEvent = f
+	}
+	s.nUnfinished--
+	if s.nParked > 0 && s.nParked == s.nUnfinished {
+		s.releaseLocked()
+	}
+	s.mu.Unlock()
+}
+
+// releaseLocked (s.mu held) releases the current barrier round at cycle
+// s.maxEvent. Every parked core is re-anchored in the epoch order to the
+// resume cycle BEFORE any of them is woken: a woken core may race ahead and
+// touch the shared level, and the gate must know its slower siblings will
+// reappear at release+1, not grant ahead of them.
+func (s *ParallelSMP) releaseLocked() {
+	release := s.maxEvent
+	for j := range s.parked {
+		if s.parked[j] {
+			s.ports[j].Reanchor(release + 1)
+		}
+	}
+	for j := range s.parked {
+		if s.parked[j] {
+			s.parked[j] = false
+			s.releaseC[j] <- release
+		}
+	}
+	s.nParked = 0
+}
+
+// triggerCancel stops the gang: the epoch gate releases its waiters and goes
+// free-for-all (serialized, unordered), parked cores are woken with the
+// cancel sentinel, and running workers notice the flag at their next step.
+func (s *ParallelSMP) triggerCancel() {
+	if !s.canceled.CompareAndSwap(false, true) {
+		return
+	}
+	s.gate.Cancel()
+	s.mu.Lock()
+	for j := range s.parked {
+		if s.parked[j] {
+			s.parked[j] = false
+			s.nParked--
+			s.releaseC[j] <- -1
+		}
+	}
+	s.mu.Unlock()
+}

@@ -22,6 +22,11 @@ type RunSpec struct {
 	Warmup uint64
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// SMPParallel steps SMP gangs (Figure 5) on concurrent per-core
+	// goroutines through the epoch-gated shared uncore. Results are
+	// byte-identical to sequential lockstep (sim.TestParallelSMPEquivalence);
+	// only the wall time changes.
+	SMPParallel bool
 	// Ctx, when non-nil, cancels in-flight simulations cooperatively (the
 	// graceful-shutdown path of cmd/experiments). A canceled experiment's
 	// output is partial and must not be rendered as a result.

@@ -49,7 +49,8 @@ func Figure5(spec RunSpec) Figure5Result {
 	m := config.SKX()
 
 	runOne := func(mm config.Machine, label string) Figure5Run {
-		opts := sim.Options{CPI: true, FLOPS: true, WarmupUops: spec.Warmup}
+		opts := sim.Options{CPI: true, FLOPS: true, WarmupUops: spec.Warmup,
+			Parallel: spec.SMPParallel}
 		res := sim.RunSMP(mm, figure5Cores, func(tid int) trace.Reader {
 			k := workload.NewConv(workload.StyleSKX, cfg, workload.ConvFwd,
 				mm.Core.VectorLanes, uint64(tid)*977+13, 20_000)

@@ -7,6 +7,8 @@
 // spacing.
 package mem
 
+import "perfstacks/internal/invariant"
+
 // Request describes one line-sized memory access.
 type Request struct {
 	// Line is the line-aligned address.
@@ -41,11 +43,17 @@ type Stats struct {
 	StallCycles int64
 }
 
-// Memory is the DRAM model. It is not safe for concurrent use; the SMP
-// harness steps cores round-robin on a single goroutine.
+// Memory is the DRAM model. It is not safe for unsynchronized concurrent
+// use: the sequential SMP harness steps cores round-robin on one goroutine,
+// and the parallel harness serializes accesses through the cache package's
+// epoch gate, which also keeps them in ascending epoch order (SetEpochFloor
+// lets the simdebug build assert that).
 type Memory struct {
 	cfg      Config
 	nextSlot int64
+	// epochFloor is the cycle of the current epoch grant: every request must
+	// arrive at or after it. Only checked under the simdebug build tag.
+	epochFloor int64
 	// Stats is exported for experiment reporting.
 	Stats Stats
 }
@@ -62,8 +70,20 @@ func New(cfg Config) *Memory {
 // Config returns the active configuration.
 func (m *Memory) Config() Config { return m.cfg }
 
+// SetEpochFloor records the cycle of the epoch now draining into memory.
+// Requests under one grant all carry At >= the grant cycle (each hop down
+// the hierarchy only adds latency) and grants arrive in nondecreasing cycle
+// order, so the floor lets the simdebug build assert that no access slipped
+// past the epoch gate out of order. The parallel SMP harness calls it via
+// the gate's grant hook; sequential runs never set it.
+func (m *Memory) SetEpochFloor(cycle int64) { m.epochFloor = cycle }
+
 // Access serves one request and returns the cycle its data is available.
 func (m *Memory) Access(req Request) int64 {
+	if invariant.Enabled {
+		invariant.Assertf(req.At >= m.epochFloor,
+			"mem: request at cycle %d arrived under epoch floor %d", req.At, m.epochFloor)
+	}
 	switch {
 	case req.Write:
 		m.Stats.Writes++
@@ -86,5 +106,6 @@ func (m *Memory) Access(req Request) int64 {
 // Reset clears queue state and statistics.
 func (m *Memory) Reset() {
 	m.nextSlot = 0
+	m.epochFloor = 0
 	m.Stats = Stats{}
 }

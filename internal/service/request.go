@@ -45,7 +45,28 @@ type Request struct {
 	Stacks []string `json:"stacks,omitempty"`
 	// Warmup runs the first N uops without accounting.
 	Warmup uint64 `json:"warmup,omitempty"`
+	// SMP, when set, runs the workload as an n-core gang over a shared
+	// uncore (one L3 slice pool and one memory) instead of a single core.
+	// Generator workloads only: each core runs the profile re-seeded by its
+	// thread id, and Workload.Uops is the per-core trace length.
+	SMP *SMPSpec `json:"smp,omitempty"`
 }
+
+// SMPSpec sizes an SMP gang request.
+type SMPSpec struct {
+	// Cores is the gang width (2 to maxSMPCores).
+	Cores int `json:"cores"`
+	// Parallel steps the cores on concurrent goroutines through the
+	// epoch-gated shared uncore. Results are byte-identical to the
+	// sequential lockstep (sim.TestParallelSMPEquivalence), so this knob
+	// trades wall time only and does not enter the cache key.
+	Parallel bool `json:"parallel,omitempty"`
+}
+
+// maxSMPCores bounds a gang request: large enough for any socket the paper
+// models (26-thread SKX), small enough that a single request cannot ask for
+// an unbounded amount of work.
+const maxSMPCores = 64
 
 // IdealizeSpec mirrors config.Idealize with wire-stable field names.
 type IdealizeSpec struct {
@@ -81,6 +102,10 @@ type plan struct {
 	// mkReader builds a fresh trace reader (called once per simulation,
 	// and again per idealization if those are ever added service-side).
 	mkReader func() (trace.Reader, error)
+	// smpCores, when > 0, runs the request as an SMP gang: mkSMP builds
+	// the per-thread readers and mkReader is unused.
+	smpCores int
+	mkSMP    func(tid int) trace.Reader
 }
 
 // parseRequest decodes and strictly validates a request body. All errors
@@ -149,6 +174,17 @@ func (s *Server) resolve(req *Request) (*plan, error) {
 			return nil, fmt.Errorf("%w: unknown stack %q (want cpi, flops, memdepth, structural or fetch)", sim.ErrBadValue, st)
 		}
 	}
+	if req.SMP != nil {
+		if req.SMP.Cores < 2 || req.SMP.Cores > maxSMPCores {
+			return nil, fmt.Errorf("%w: smp.cores must be between 2 and %d", sim.ErrBadValue, maxSMPCores)
+		}
+		if req.Workload == nil {
+			return nil, fmt.Errorf("%w: smp requires a generator workload (a trace file carries no per-thread streams)", sim.ErrBadValue)
+		}
+		// Parallel stepping is byte-identical by contract, and
+		// CanonicalOptions excludes it, so it cannot split the key space.
+		opts.Parallel = req.SMP.Parallel
+	}
 	if err := sim.ValidateOptions(opts); err != nil {
 		return nil, err
 	}
@@ -165,6 +201,9 @@ func (s *Server) resolve(req *Request) (*plan, error) {
 		uops := req.Workload.Uops
 		if uops == 0 {
 			return nil, fmt.Errorf("%w: workload.uops must be > 0", sim.ErrBadValue)
+		}
+		if req.SMP != nil {
+			return s.resolveSMP(p, m, prof, uops, opts, req.SMP.Cores)
 		}
 		// SimKey is the shared derivation for generator-driven runs, so a
 		// simd cache directory is hit-compatible with sweep/experiments.
@@ -217,6 +256,40 @@ func (s *Server) resolve(req *Request) (*plan, error) {
 		p.key = resultcache.KeyOf(mBytes, oBytes, traceID, []byte(sim.SchemaVersion))
 		return p, nil
 	}
+}
+
+// resolveSMP finishes a gang plan: the key binds the machine, options, the
+// base profile, the per-core length AND the core count — a 4-core and an
+// 8-core gang of the same workload measure different things — while the
+// Parallel knob stays out (byte-identical stepping must share one entry).
+func (s *Server) resolveSMP(p *plan, m config.Machine, prof workload.Profile, uops uint64, opts sim.Options, cores int) (*plan, error) {
+	mb, err := sim.CanonicalMachine(m)
+	if err != nil {
+		return nil, err
+	}
+	ob, err := sim.CanonicalOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	tid, err := sim.CanonicalBytes("workload-smp", struct {
+		Profile workload.Profile
+		Uops    uint64
+		Cores   int
+	}{prof, uops, cores})
+	if err != nil {
+		return nil, err
+	}
+	p.key = resultcache.KeyOf(mb, ob, tid, []byte(sim.SchemaVersion))
+	p.workload = fmt.Sprintf("%s-smp%d", prof.Name, cores)
+	p.smpCores = cores
+	p.mkSMP = func(tid int) trace.Reader {
+		pp := prof
+		// Distinct deterministic streams per thread: same program shape,
+		// decorrelated addresses and branch outcomes.
+		pp.Seed = prof.Seed + uint64(tid)*0x9e3779b97f4a7c15
+		return trace.NewLimit(workload.NewGenerator(pp), uops)
+	}
+	return p, nil
 }
 
 // readTrace loads a trace file, size-capped.

@@ -56,8 +56,10 @@ type Server struct {
 	workers  int
 
 	// runSim is the simulation entry point; tests swap it to count and
-	// block simulations without burning CPU.
+	// block simulations without burning CPU. runSMP is its gang-request
+	// counterpart.
 	runSim func(m config.Machine, tr trace.Reader, opts sim.Options) sim.Result
+	runSMP func(m config.Machine, n int, mk func(tid int) trace.Reader, opts sim.Options) sim.SMPResult
 }
 
 // New builds a Server whose simulations run until base is canceled (cancel
@@ -86,6 +88,7 @@ func New(base context.Context, cfg Config) (*Server, error) {
 		logf:     logger.Printf,
 		workers:  runner.Workers(cfg.Workers),
 		runSim:   sim.Run,
+		runSMP:   sim.RunSMP,
 	}
 	s.pool = runner.NewPool(runner.PoolOptions{
 		Workers:    cfg.Workers,
@@ -198,14 +201,19 @@ func (s *Server) simulate(w http.ResponseWriter, r *http.Request) (int, error) {
 func (s *Server) produce(ctx context.Context, p *plan) ([]byte, error) {
 	var payload []byte
 	done, err := s.pool.Submit(ctx, func(jctx context.Context) error {
-		tr, err := p.mkReader()
-		if err != nil {
-			return err
-		}
 		opts := p.opts
 		opts.Context = jctx
 		s.metrics.sims.Add(1)
-		res := s.runSim(p.machine, tr, opts)
+		var res sim.Result
+		if p.smpCores > 0 {
+			res = s.simulateSMP(p, opts)
+		} else {
+			tr, err := p.mkReader()
+			if err != nil {
+				return err
+			}
+			res = s.runSim(p.machine, tr, opts)
+		}
 		if res.Err != nil {
 			// Partial stacks must never enter the cache.
 			return res.Err
@@ -228,6 +236,37 @@ func (s *Server) produce(ctx context.Context, p *plan) ([]byte, error) {
 		return nil, err
 	}
 	return payload, nil
+}
+
+// simulateSMP runs a gang request and folds the SMP result into the single
+// result wire shape: the component-wise averaged stacks and FLOPS pass
+// through, and the per-core pipeline statistics aggregate with counters
+// summed and Cycles the gang wall time (the slowest core).
+func (s *Server) simulateSMP(p *plan, opts sim.Options) sim.Result {
+	smp := s.runSMP(p.machine, p.smpCores, p.mkSMP, opts)
+	res := sim.Result{
+		Machine: smp.Machine,
+		Stacks:  smp.Stacks,
+		FLOPS:   smp.FLOPS,
+		Err:     smp.Err,
+	}
+	for _, st := range smp.PerCore {
+		if st.Cycles > res.Stats.Cycles {
+			res.Stats.Cycles = st.Cycles
+		}
+		res.Stats.Committed += st.Committed
+		res.Stats.Loads += st.Loads
+		res.Stats.Stores += st.Stores
+		res.Stats.Branches += st.Branches
+		res.Stats.Mispredicts += st.Mispredicts
+		res.Stats.WrongPathUops += st.WrongPathUops
+		res.Stats.SquashedUops += st.SquashedUops
+		res.Stats.VFPUops += st.VFPUops
+		res.Stats.FLOPs += st.FLOPs
+		res.Stats.BarrierWaits += st.BarrierWaits
+		res.Stats.ICacheStallCycles += st.ICacheStallCycles
+	}
+	return res
 }
 
 // retryAfter estimates in whole seconds when a shed client should try

@@ -426,6 +426,9 @@ func TestInvalidRequests(t *testing.T) {
 		{"both inputs", `{"machine":"BDW","workload":{"profile":"mcf","uops":10},"trace_path":"x.trc"}`, "mutually exclusive"},
 		{"path escape", `{"machine":"BDW","trace_path":"../secret.trc"}`, "trace_path"},
 		{"absolute path", `{"machine":"BDW","trace_path":"/etc/passwd"}`, "trace_path"},
+		{"smp one core", `{"machine":"BDW","workload":{"profile":"mcf","uops":10},"smp":{"cores":1}}`, "smp.cores"},
+		{"smp too wide", `{"machine":"BDW","workload":{"profile":"mcf","uops":10},"smp":{"cores":65}}`, "smp.cores"},
+		{"smp over trace", `{"machine":"BDW","trace_path":"x.trc","smp":{"cores":4}}`, "smp requires a generator workload"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -447,6 +450,92 @@ func TestInvalidRequests(t *testing.T) {
 	}
 	if got := sims.Load(); got != 0 {
 		t.Fatalf("invalid requests ran %d simulations", got)
+	}
+}
+
+// TestSMPRequests: gang requests simulate, decode as an aggregate result,
+// key on the core count, and — because parallel stepping is byte-identical
+// by contract — share one cache entry across the parallel knob.
+func TestSMPRequests(t *testing.T) {
+	var sims atomic.Int32
+	_, ts := newTestServer(t, Config{}, func(s *Server) {
+		inner := s.runSMP
+		s.runSMP = func(m config.Machine, n int, mk func(int) trace.Reader, opts sim.Options) sim.SMPResult {
+			sims.Add(1)
+			return inner(m, n, mk, opts)
+		}
+	})
+
+	body := func(cores int, parallel bool) string {
+		return fmt.Sprintf(`{"machine":"BDW","workload":{"profile":"mcf","uops":4000},"smp":{"cores":%d,"parallel":%v}}`,
+			cores, parallel)
+	}
+
+	r1 := post(t, ts, body(4, false))
+	b1 := readAll(t, r1)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("sequential gang: %d: %s", r1.StatusCode, b1)
+	}
+	res, wl, err := export.DecodeResult(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl != "mcf-smp4" {
+		t.Fatalf("workload label %q, want mcf-smp4", wl)
+	}
+	if res.Stacks == nil || res.Stats.Committed == 0 || res.Stats.Cycles == 0 {
+		t.Fatalf("implausible gang result: %+v", res.Stats)
+	}
+
+	// The parallel knob must hit the sequential run's cache entry with a
+	// byte-identical body: no second simulation.
+	r2 := post(t, ts, body(4, true))
+	b2 := readAll(t, r2)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("parallel gang: %d: %s", r2.StatusCode, b2)
+	}
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("parallel twin X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("parallel and sequential gang bodies differ")
+	}
+	if r1.Header.Get("X-Result-Key") != r2.Header.Get("X-Result-Key") {
+		t.Fatal("the parallel knob split the cache key")
+	}
+
+	// A different gang width measures something else: new key, new sim.
+	r3 := post(t, ts, body(2, false))
+	readAll(t, r3)
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("2-core gang: %d", r3.StatusCode)
+	}
+	if r3.Header.Get("X-Result-Key") == r1.Header.Get("X-Result-Key") {
+		t.Fatal("4-core and 2-core gangs share a key")
+	}
+	if got := sims.Load(); got != 2 {
+		t.Fatalf("ran %d gang simulations, want 2", got)
+	}
+}
+
+// TestSMPRequestParallelByteIdentical drives the real parallel harness
+// through the service stack: two fresh servers (separate caches) simulate
+// the same gang sequentially and in parallel, and the encoded payloads must
+// be byte-identical — the service-level face of the equivalence contract.
+func TestSMPRequestParallelByteIdentical(t *testing.T) {
+	run := func(parallel bool) []byte {
+		var payload []byte
+		_, ts := newTestServer(t, Config{}, nil)
+		resp := post(t, ts, fmt.Sprintf(
+			`{"machine":"SKX","workload":{"profile":"mcf","uops":4000},"stacks":["cpi","flops"],"smp":{"cores":3,"parallel":%v}}`, parallel))
+		payload = readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("parallel=%v: %d: %s", parallel, resp.StatusCode, payload)
+		}
+		return payload
+	}
+	if !bytes.Equal(run(false), run(true)) {
+		t.Fatal("service gang payloads differ between sequential and parallel stepping")
 	}
 }
 

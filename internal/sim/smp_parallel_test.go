@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/faultinject"
+	"perfstacks/internal/trace"
+	"perfstacks/internal/workload"
+)
+
+// convGang builds the per-thread conv traces the SMP tests use: barriered,
+// with per-thread seeds and skewed paces so threads genuinely wait on each
+// other and the shared-L3 interleaving matters.
+func convGang(m config.Machine, barrierEvery int, uops uint64) func(tid int) trace.Reader {
+	return func(tid int) trace.Reader {
+		k := workload.NewConv(workload.StyleSKX, workload.ConvTrain()[6],
+			workload.ConvFwd, m.Core.VectorLanes, uint64(tid)+1, barrierEvery)
+		k.SetExtraOverhead(tid * 3) // skewed barrier paces
+		return trace.NewLimit(k, uops)
+	}
+}
+
+// requireSMPEqual fails unless the two SMP results are byte-identical:
+// every stack component, every per-core statistic, and the per-core error
+// strings (fault messages embed the committed-uop count, so a divergent
+// simulation shows up in the error text too).
+func requireSMPEqual(t *testing.T, label string, seq, par SMPResult) {
+	t.Helper()
+	if len(seq.PerCore) != len(par.PerCore) {
+		t.Fatalf("%s: per-core count %d vs %d", label, len(seq.PerCore), len(par.PerCore))
+	}
+	for i := range seq.PerCore {
+		if seq.PerCore[i] != par.PerCore[i] {
+			t.Errorf("%s: core %d stats differ:\nsequential %+v\nparallel   %+v",
+				label, i, seq.PerCore[i], par.PerCore[i])
+		}
+		se, pe := seq.PerCoreErr[i], par.PerCoreErr[i]
+		switch {
+		case (se == nil) != (pe == nil):
+			t.Errorf("%s: core %d error mismatch: %v vs %v", label, i, se, pe)
+		case se != nil && se.Error() != pe.Error():
+			t.Errorf("%s: core %d error text differs:\n%v\n%v", label, i, se, pe)
+		}
+	}
+	if (seq.Err == nil) != (par.Err == nil) {
+		t.Errorf("%s: aggregate error mismatch: %v vs %v", label, seq.Err, par.Err)
+	}
+	if (seq.Stacks == nil) != (par.Stacks == nil) {
+		t.Fatalf("%s: stacks presence differs", label)
+	}
+	if seq.Stacks != nil {
+		for st := core.Stage(0); st < core.NumStages; st++ {
+			a, b := seq.Stacks.Stacks[st], par.Stacks.Stacks[st]
+			if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+				t.Errorf("%s: stage %v cycles/instructions differ: %d/%d vs %d/%d",
+					label, st, a.Cycles, a.Instructions, b.Cycles, b.Instructions)
+			}
+			for c := core.Component(0); c < core.NumComponents; c++ {
+				if a.Comp[c] != b.Comp[c] {
+					t.Errorf("%s: stage %v component %v differs: %v vs %v",
+						label, st, c, a.Comp[c], b.Comp[c])
+				}
+			}
+		}
+	}
+	if seq.FLOPS != par.FLOPS {
+		t.Errorf("%s: FLOPS stacks differ:\n%+v\n%+v", label, seq.FLOPS, par.FLOPS)
+	}
+}
+
+// runBothSMP runs the same gang sequentially and in parallel.
+func runBothSMP(m config.Machine, n int, mk func(int) trace.Reader, opts Options) (seq, par SMPResult) {
+	opts.Parallel = false
+	seq = RunSMP(m, n, mk, opts)
+	opts.Parallel = true
+	par = RunSMP(m, n, mk, opts)
+	return seq, par
+}
+
+// TestParallelSMPEquivalence is the byte-identity contract of parallel SMP
+// stepping: across GOMAXPROCS settings (goroutine multiplexing degrees) and
+// all three wrong-path accounting schemes, the parallel run must reproduce
+// the sequential lockstep exactly — same stacks, same per-core statistics,
+// same shared-L3/memory interleaving consequences.
+func TestParallelSMPEquivalence(t *testing.T) {
+	m := config.SKX()
+	schemes := []core.WrongPathScheme{
+		core.WrongPathOracle, core.WrongPathSimple, core.WrongPathSpeculative,
+	}
+	for _, procs := range []int{1, 2, 8} {
+		for _, scheme := range schemes {
+			name := fmt.Sprintf("procs=%d/scheme=%s", procs, scheme)
+			t.Run(name, func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				opts := Options{CPI: true, FLOPS: true, Scheme: scheme}
+				seq, par := runBothSMP(m, 3, convGang(m, 3000, 20000), opts)
+				requireSMPEqual(t, name, seq, par)
+			})
+		}
+	}
+}
+
+// TestParallelSMPEquivalenceUnevenFinish covers the finish-release coupling:
+// threads with different trace lengths leave the gang at different cycles,
+// and a finish can be the arrival that releases a barrier round.
+func TestParallelSMPEquivalenceUnevenFinish(t *testing.T) {
+	m := config.SKX()
+	mk := func(tid int) trace.Reader {
+		k := workload.NewConv(workload.StyleSKX, workload.ConvTrain()[6],
+			workload.ConvFwd, m.Core.VectorLanes, uint64(tid)+1, 2500)
+		k.SetExtraOverhead(tid)
+		return trace.NewLimit(k, uint64(8000+6000*tid))
+	}
+	seq, par := runBothSMP(m, 4, mk, Options{CPI: true})
+	requireSMPEqual(t, "uneven-finish", seq, par)
+	if seq.Stacks.Stack(core.StageIssue).Comp[core.CompUnsched] <= 0 {
+		t.Fatal("test workload should accumulate Unsched cycles")
+	}
+}
+
+// TestParallelSMPEquivalenceFault injects a mid-trace stream fault on one
+// core: the faulting core drains early (its finish releases its siblings'
+// barriers), and both harnesses must agree on SMPResult.PerCoreErr down to
+// the committed-uop count embedded in the error text.
+func TestParallelSMPEquivalenceFault(t *testing.T) {
+	m := config.SKX()
+	mk := func(tid int) trace.Reader {
+		k := workload.NewConv(workload.StyleSKX, workload.ConvTrain()[6],
+			workload.ConvFwd, m.Core.VectorLanes, uint64(tid)+1, 3000)
+		k.SetExtraOverhead(tid * 2)
+		if tid == 1 {
+			return faultinject.FailAfter(trace.NewLimit(k, 20000), 7000, nil)
+		}
+		return trace.NewLimit(k, 20000)
+	}
+	seq, par := runBothSMP(m, 3, mk, Options{CPI: true})
+	requireSMPEqual(t, "fault", seq, par)
+	if seq.PerCoreErr[1] == nil || par.PerCoreErr[1] == nil {
+		t.Fatal("core 1's injected fault must surface in PerCoreErr on both harnesses")
+	}
+	if seq.PerCoreErr[0] != nil || seq.PerCoreErr[2] != nil {
+		t.Fatal("healthy cores must not report errors")
+	}
+	if seq.Err == nil || par.Err == nil {
+		t.Fatal("the gang error must be set")
+	}
+}
+
+// TestParallelSMPWarmup checks the warm-up boundary survives parallel
+// stepping (warm-up is per-core state, but it shifts which samples the
+// accountants see, making any divergence visible).
+func TestParallelSMPWarmup(t *testing.T) {
+	m := config.SKX()
+	opts := Options{CPI: true, WarmupUops: 5000}
+	seq, par := runBothSMP(m, 2, convGang(m, 4000, 18000), opts)
+	requireSMPEqual(t, "warmup", seq, par)
+}
