@@ -1,0 +1,355 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src (a file body without the package clause), builds the
+// CFG of function f, and returns its Format rendering.
+func build(t *testing.T, src, fn string, opts Options) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package p\n"+src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body := FuncBody(file, fn)
+	if body == nil {
+		t.Fatalf("no function %q", fn)
+	}
+	return New(body, opts).Format(fset)
+}
+
+// wantGraph compares against a golden rendering written with tabs
+// normalized to two spaces for readability.
+func wantGraph(t *testing.T, got, want string) {
+	t.Helper()
+	norm := func(s string) string {
+		s = strings.ReplaceAll(s, "\t", "  ")
+		return strings.TrimSpace(s)
+	}
+	if norm(got) != norm(want) {
+		t.Errorf("graph mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestIfShortCircuit(t *testing.T) {
+	got := build(t, `
+func f(a, b, c bool) int {
+	if a && (b || !c) {
+		return 1
+	}
+	return 0
+}`, "f", Options{})
+	wantGraph(t, got, `
+.0 entry
+  a
+  → .3 .2
+.1 if.then
+  return 1
+.2 if.done
+  return 0
+.3 cond.and
+  b
+  → .1 .4
+.4 cond.or
+  c
+  → .2 .1
+.5 post.return
+  → .2
+.6 post.return
+`)
+}
+
+func TestGotoIntoLoop(t *testing.T) {
+	got := build(t, `
+func f(n int) {
+	goto L
+	for i := 0; i < n; i++ {
+	L:
+		n--
+	}
+}`, "f", Options{})
+	// The goto jumps straight into the loop body's labeled block; the
+	// for statement after it is dead until L's block rejoins the loop.
+	wantGraph(t, got, `
+.0 entry
+  → .1
+.1 label.L
+  n--
+  → .6
+.2 post.goto
+  i := 0
+  → .3
+.3 for.head
+  i < n
+  → .4 .5
+.4 for.body
+  → .1
+.5 for.done
+.6 for.post
+  i++
+  → .3
+`)
+}
+
+func TestLabeledContinueAndBreak(t *testing.T) {
+	got := build(t, `
+func f(m, n int) {
+outer:
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue outer
+			}
+			if j > i {
+				break outer
+			}
+		}
+	}
+}`, "f", Options{})
+	wantGraph(t, got, `
+.0 entry
+  → .1
+.1 label.outer
+  i := 0
+  → .2
+.2 for.head
+  i < m
+  → .3 .4
+.3 for.body
+  j := 0
+  → .6
+.4 for.done
+.5 for.post
+  i++
+  → .2
+.6 for.head
+  j < n
+  → .7 .8
+.7 for.body
+  j == i
+  → .10 .11
+.8 for.done
+  → .5
+.9 for.post
+  j++
+  → .6
+.10 if.then
+  → .5
+.11 if.done
+  j > i
+  → .13 .14
+.12 post.continue
+  → .11
+.13 if.then
+  → .4
+.14 if.done
+  → .9
+.15 post.break
+  → .14
+`)
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	got := build(t, `
+func f(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x--
+	default:
+		x = 0
+	}
+	return x
+}`, "f", Options{})
+	wantGraph(t, got, `
+.0 entry
+  x
+  1
+  2
+  → .2 .3 .4
+.1 switch.done
+  return x
+.2 switch.body
+  x++
+  → .3
+.3 switch.body
+  x--
+  → .1
+.4 switch.body
+  x = 0
+  → .1
+.5 post.fallthrough
+  → .1
+.6 post.return
+`)
+}
+
+func TestSelectWithDefault(t *testing.T) {
+	got := build(t, `
+func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return -1
+	}
+}`, "f", Options{})
+	wantGraph(t, got, `
+.0 entry
+  → .2 .3
+.1 select.done
+.2 select.comm
+  v := <-ch
+  return v
+.3 select.comm
+  return -1
+.4 post.return
+  → .1
+.5 post.return
+  → .1
+`)
+}
+
+func TestSelectNoDefaultAndRange(t *testing.T) {
+	got := build(t, `
+func f(ch chan int, xs []int) {
+	for _, x := range xs {
+		select {
+		case ch <- x:
+		}
+	}
+}`, "f", Options{})
+	wantGraph(t, got, `
+.0 entry
+  → .1
+.1 range.head
+  xs
+  _
+  x
+  → .2 .3
+.2 range.body
+  → .5
+.3 range.done
+.4 select.done
+  → .1
+.5 select.comm
+  ch <- x
+  → .4
+`)
+}
+
+func TestDeferInBranchesAndPanic(t *testing.T) {
+	got := build(t, `
+func f(ok bool, mu interface{ Unlock() }) {
+	if ok {
+		defer mu.Unlock()
+	} else {
+		panic("bad")
+	}
+	return
+}`, "f", Options{})
+	wantGraph(t, got, `
+.0 entry
+  ok
+  → .1 .3
+.1 if.then
+  defer mu.Unlock()
+  → .2
+.2 if.done
+  return
+.3 if.else
+  panic("bad")
+.4 post.panic
+  → .2
+.5 post.return
+`)
+	// The deferred call is also collected for exit-time analysis.
+	fset := token.NewFileSet()
+	file, _ := parser.ParseFile(fset, "t.go", `package p
+func f(ok bool, mu interface{ Unlock() }) {
+	if ok {
+		defer mu.Unlock()
+	}
+}`, 0)
+	g := New(FuncBody(file, "f"), Options{})
+	if len(g.Defers) != 1 {
+		t.Errorf("Defers = %d, want 1", len(g.Defers))
+	}
+}
+
+func TestConstCondPruning(t *testing.T) {
+	constFalse := func(e ast.Expr) (bool, bool) {
+		if id, ok := e.(*ast.Ident); ok && id.Name == "debugEnabled" {
+			return false, true
+		}
+		return false, false
+	}
+	got := build(t, `
+func f(x int) int {
+	if debugEnabled {
+		x = expensiveCheck(x)
+	}
+	return x
+}`, "f", Options{ConstCond: constFalse})
+	wantGraph(t, got, `
+.0 entry
+  debugEnabled
+  → .2
+.1 if.then
+  x = expensiveCheck(x)
+  → .2
+.2 if.done
+  return x
+.3 post.return
+`)
+	// The dead arm must be unreachable.
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", `package p
+func f(x int) int {
+	if debugEnabled {
+		x = expensiveCheck(x)
+	}
+	return x
+}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(FuncBody(file, "f"), Options{ConstCond: constFalse})
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if b.Kind == "if.then" && reach[b.Index] {
+			t.Errorf("pruned branch %d still reachable", b.Index)
+		}
+	}
+}
+
+func TestReachableSkipsDeadCode(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", `package p
+func f() int {
+	return 1
+	return 2
+}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(FuncBody(file, "f"), Options{})
+	reach := g.Reachable()
+	live := 0
+	for _, b := range g.Blocks {
+		if reach[b.Index] {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Errorf("live blocks = %d, want 1 (entry only)", live)
+	}
+}

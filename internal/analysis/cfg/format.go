@@ -1,0 +1,58 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Format renders the graph in a stable, human-diffable text form, one
+// block per paragraph:
+//
+//	.0 entry
+//	    n := 0
+//	    → .1
+//
+// Node text is the printed source of each node collapsed to one line.
+// Golden-graph tests compare against this output.
+func (g *Graph) Format(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, ".%d %s\n", blk.Index, blk.Kind)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, "\t%s\n", nodeText(fset, n))
+		}
+		succs := make([]string, len(blk.Succs))
+		for i, s := range blk.Succs {
+			succs[i] = fmt.Sprintf(".%d", s.Index)
+		}
+		if len(succs) > 0 {
+			fmt.Fprintf(&sb, "\t→ %s\n", strings.Join(succs, " "))
+		}
+	}
+	return sb.String()
+}
+
+// nodeText prints one node's source collapsed to a single line.
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}
+
+// FuncBody is a test convenience: it returns the body of the function
+// named name in file, or nil.
+func FuncBody(file *ast.File, name string) *ast.BlockStmt {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Package dataflow is a generic worklist solver over the control-flow
+// graphs of internal/analysis/cfg: the shared fixed-point engine behind
+// the flow-sensitive simlint analyzers.
+//
+// A client supplies a Lattice — how facts clone, join at merge points,
+// and compare — plus a transfer function mapping a block's input fact to
+// its output fact. Solve iterates to a fixed point in the requested
+// Direction. The May/Must distinction is carried entirely by the
+// lattice's Join: union-like joins give a May analysis (a property holds
+// on some path), intersection-like joins give a Must analysis (it holds
+// on every path). Join is only ever called between two defined facts —
+// the first fact to arrive at a block is adopted by Clone, so lattices
+// need no explicit top element.
+//
+// Termination: Solve revisits a block only when its input fact changes
+// (per Lattice.Equal), so any lattice with finite ascending chains
+// converges. The analyzers' lattices are finite maps over the function's
+// variables with flat per-variable domains, which converge in at most
+// a few passes over the graph.
+package dataflow
+
+import "perfstacks/internal/analysis/cfg"
+
+// Direction selects forward (entry → exits) or backward (exits → entry)
+// propagation.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Lattice describes the fact domain of one analysis.
+type Lattice[F any] interface {
+	// Clone returns an independent copy of a fact; Solve never aliases
+	// the fact it hands to one block into another block's state.
+	Clone(F) F
+	// Join combines the fact arriving over one more edge into dst and
+	// returns the result (it may mutate and return dst). Union semantics
+	// yield a May analysis, intersection semantics a Must analysis.
+	Join(dst, src F) F
+	// Equal reports whether two facts carry the same information; it
+	// bounds the fixed-point iteration.
+	Equal(a, b F) bool
+}
+
+// Result holds the converged per-block facts, indexed by cfg.Block.Index.
+// In[i] is the fact presented to block i's transfer function — the block
+// entry for Forward, the block exit for Backward — and Out[i] is what the
+// transfer returned.
+type Result[F any] struct {
+	In      []F
+	Out     []F
+	Defined []bool // false for blocks never reached by propagation
+}
+
+// Solve runs transfer over g to a fixed point. boundary is the fact at
+// the analysis boundary: the entry block (Forward) or every exit block —
+// blocks without successors (Backward).
+func Solve[F any](g *cfg.Graph, dir Direction, lat Lattice[F], boundary F, transfer func(b *cfg.Block, in F) F) Result[F] {
+	n := len(g.Blocks)
+	res := Result[F]{In: make([]F, n), Out: make([]F, n), Defined: make([]bool, n)}
+
+	// succs/preds under the chosen direction: "next" is where facts flow.
+	next := func(b *cfg.Block) []*cfg.Block { return b.Succs }
+	if dir == Backward {
+		preds := make([][]*cfg.Block, n)
+		for _, b := range g.Blocks {
+			for _, s := range b.Succs {
+				preds[s.Index] = append(preds[s.Index], b)
+			}
+		}
+		next = func(b *cfg.Block) []*cfg.Block { return preds[b.Index] }
+	}
+
+	var work []*cfg.Block
+	inWork := make([]bool, n)
+	push := func(b *cfg.Block) {
+		if !inWork[b.Index] {
+			inWork[b.Index] = true
+			work = append(work, b)
+		}
+	}
+
+	// Seed the boundary blocks.
+	if dir == Forward {
+		e := g.Entry()
+		res.In[e.Index] = lat.Clone(boundary)
+		res.Defined[e.Index] = true
+		push(e)
+	} else {
+		for _, b := range g.Blocks {
+			if len(b.Succs) == 0 {
+				res.In[b.Index] = lat.Clone(boundary)
+				res.Defined[b.Index] = true
+				push(b)
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b.Index] = false
+
+		out := transfer(b, lat.Clone(res.In[b.Index]))
+		res.Out[b.Index] = out
+
+		for _, s := range next(b) {
+			if !res.Defined[s.Index] {
+				res.In[s.Index] = lat.Clone(out)
+				res.Defined[s.Index] = true
+				push(s)
+				continue
+			}
+			joined := lat.Join(lat.Clone(res.In[s.Index]), out)
+			if !lat.Equal(joined, res.In[s.Index]) {
+				res.In[s.Index] = joined
+				push(s)
+			}
+		}
+	}
+	return res
+}

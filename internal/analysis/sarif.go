@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is one diagnostic in driver-neutral form, the unit of the
+// standalone driver's machine-readable outputs. Fields are exported for
+// encoding/json; the rendered schemas are stable interfaces consumed by CI.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// sortFindings orders findings by file, line, column, analyzer, message —
+// the stable order every output mode emits, so diffing two runs never shows
+// phantom churn from package traversal order.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// writeJSONFindings renders the sorted findings as a JSON array (empty runs
+// emit [] rather than null, so consumers can always range over the result).
+func writeJSONFindings(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(fs)
+}
+
+// SARIF 2.1.0 skeleton — only the subset GitHub code scanning and the
+// artifact viewers consume.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF renders the sorted findings as a SARIF 2.1.0 log with one run.
+// Every analyzer of the suite is declared as a rule, found or not, so the
+// report documents what was checked, not only what fired. File paths are
+// relativized against the working directory when possible — GitHub anchors
+// PR annotations on repo-relative URIs.
+func writeSARIF(w io.Writer, toolName string, analyzers []*Analyzer, fs []Finding) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	cwd, _ := os.Getwd()
+	results := make([]sarifResult, 0, len(fs))
+	for _, f := range fs {
+		uri := f.File
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.File); err == nil && filepath.IsLocal(rel) {
+				uri = filepath.ToSlash(rel)
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: toolName, Rules: rules}}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(log)
+}

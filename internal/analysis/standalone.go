@@ -26,14 +26,28 @@ type listPackage struct {
 	Error      *struct{ Err string }
 }
 
+// Output formats for the standalone driver.
+const (
+	// FormatPlain renders `file:line:col: message` lines.
+	FormatPlain = "plain"
+	// FormatJSON renders a sorted JSON array of findings.
+	FormatJSON = "json"
+	// FormatSARIF renders a SARIF 2.1.0 log (one run, one rule per
+	// analyzer) for CI artifact upload and code-scanning ingestion.
+	FormatSARIF = "sarif"
+)
+
 // Standalone loads the packages matched by patterns via the go command,
 // type-checks each from source against export data built for its
-// dependencies, runs the analyzers, and prints findings to w. It returns the
-// process exit code: 0 clean, 1 driver error, 2 diagnostics found.
+// dependencies, runs the analyzers, and prints findings to w in the given
+// format. Findings are collected across every package and emitted in one
+// stable order — file, line, column, analyzer, message — so output diffs
+// cleanly between runs. It returns the process exit code: 0 clean, 1 driver
+// or analysis error (dominates), 2 findings.
 //
 // Unlike the vettool path this does not analyze test files; CI runs the
 // suite through `go vet -vettool`, which does.
-func Standalone(w io.Writer, patterns []string, analyzers []*Analyzer) int {
+func Standalone(w io.Writer, patterns []string, analyzers []*Analyzer, format string) int {
 	args := append([]string{"list", "-e", "-json", "-export", "-deps"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -64,6 +78,7 @@ func Standalone(w io.Writer, patterns []string, analyzers []*Analyzer) int {
 	}
 
 	exitCode := 0
+	var findings []Finding
 	for _, p := range targets {
 		if p.Error != nil {
 			fmt.Fprintf(os.Stderr, "simlint: %s: %s\n", p.ImportPath, p.Error.Err)
@@ -96,12 +111,39 @@ func Standalone(w io.Writer, patterns []string, analyzers []*Analyzer) int {
 			exitCode = 1
 			continue
 		}
-		if len(diags) > 0 {
-			printDiagnostics(w, fset, diags, false, p.ImportPath)
-			if exitCode == 0 {
-				exitCode = 2
-			}
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			findings = append(findings, Finding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
+	}
+	sortFindings(findings)
+	switch format {
+	case FormatJSON:
+		if err := writeJSONFindings(w, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 1
+		}
+	case FormatSARIF:
+		// SARIF is emitted even when clean: an empty results array is a
+		// positive "checked and found nothing", which CI uploads as the
+		// run's artifact either way.
+		if err := writeSARIF(w, "simlint", analyzers, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 1
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintf(w, "%s:%d:%d: %s\n", f.File, f.Line, f.Column, f.Message)
+		}
+	}
+	if exitCode == 0 && len(findings) > 0 {
+		exitCode = 2
 	}
 	return exitCode
 }

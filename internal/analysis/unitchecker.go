@@ -64,11 +64,24 @@ func Main(progname string, analyzers ...*Analyzer) {
 		return
 	}
 
+	// Output-mode flags. -json doubles as the vet protocol's flag (cmd/go
+	// passes it before the .cfg path) and the standalone driver's JSON
+	// findings array; -sarif is standalone-only.
 	jsonOut := false
-	if len(args) > 0 && args[0] == "-json" {
-		jsonOut = true
+	format := FormatPlain
+	for len(args) > 0 {
+		switch args[0] {
+		case "-json":
+			jsonOut = true
+			format = FormatJSON
+		case "-sarif":
+			format = FormatSARIF
+		default:
+			goto flagsDone
+		}
 		args = args[1:]
 	}
+flagsDone:
 
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		runUnitchecker(progname, args[0], jsonOut, analyzers)
@@ -79,7 +92,7 @@ func Main(progname string, analyzers ...*Analyzer) {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(Standalone(os.Stdout, args, analyzers))
+	os.Exit(Standalone(os.Stdout, args, analyzers, format))
 }
 
 // printVersion emits the `name version ...` line cmd/go expects, keyed by a

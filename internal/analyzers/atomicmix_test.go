@@ -1,0 +1,66 @@
+package analyzers
+
+import (
+	"testing"
+
+	"perfstacks/internal/analysis/analysistest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, AtomicMix, analysistest.Package{
+		Path: "example.com/fake/gate",
+		Files: map[string]string{
+			"gate.go": `package gate
+
+import "sync/atomic"
+
+type Gate struct {
+	progress []atomic.Int64
+	seq      int64
+	plain    int64
+}
+
+// New initializes atomic fields plainly inside the pre-publication window:
+// g is a fresh local no other goroutine can see.
+func New(n int) *Gate {
+	g := &Gate{progress: make([]atomic.Int64, n)}
+	g.seq = 1
+	return g
+}
+
+func (g *Gate) Advance(i int, v int64) {
+	g.progress[i].Store(v)
+	atomic.AddInt64(&g.seq, 1)
+}
+
+func (g *Gate) Read(i int) int64 {
+	return g.progress[i].Load()
+}
+
+func (g *Gate) Bad(i int) {
+	g.progress[i] = atomic.Int64{} // want "plain overwrite of atomic-typed progress"
+	g.seq = 0                      // want "plain store to seq"
+	v := g.seq                     // want "plain load of seq"
+	_ = v
+	g.plain = 7
+}
+
+// Escaped shows the window closing: after publish(g) the object is shared
+// and plain stores are no longer sanctioned.
+func Escaped() *Gate {
+	g := &Gate{}
+	g.seq = 3
+	publish(g)
+	g.seq = 9 // want "plain store to seq"
+	return g
+}
+
+func publish(*Gate) {}
+
+func Acknowledged(g *Gate) int64 {
+	return g.seq //simlint:partial documented single-writer drain window
+}
+`,
+		},
+	})
+}

@@ -1,0 +1,90 @@
+package analyzers
+
+import (
+	"testing"
+
+	"perfstacks/internal/analysis/analysistest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, HotAlloc, analysistest.Package{
+		Path: "example.com/fake/sim",
+		Files: map[string]string{
+			"sim.go": `package sim
+
+type core struct {
+	buf  []int
+	rs   []int
+	seen map[int]bool
+}
+
+type sample struct{ v int }
+
+type sink interface{ accept(interface{}) }
+
+// step is the amortized-reuse idiom the hot path is built on: reslice a
+// field to zero length, self-append, store back. No finding expected.
+//simlint:hotpath
+func (c *core) step(in []int) {
+	kept := c.rs[:0]
+	for _, v := range in {
+		kept = append(kept, v)
+	}
+	c.rs = kept
+	c.buf = append(c.buf, len(in))
+	c.helper(in)
+}
+
+// helper is hot transitively, through step's call.
+func (c *core) helper(in []int) {
+	tmp := make([]int, len(in)) // want "make allocates"
+	fresh := []int{1, 2}        // want "slice literal allocates"
+	fresh = append(fresh, tmp...) // want "append to a slice that is not provably preallocated"
+	_ = fresh
+}
+
+//simlint:hotpath
+func (c *core) record(v int) {
+	c.seen[v] = true // want "map write may grow"
+	p := &sample{v}  // want "&composite literal escapes"
+	_ = p
+	go c.helper(nil) // want "go statement allocates a goroutine"
+}
+
+//simlint:hotpath
+func (c *core) fanout(s sink, v int) {
+	s.accept(v) // want "int boxed into interface\{\} allocates"
+	f := func() int { return v } // want "closure captures v"
+	_ = f
+}
+
+//simlint:hotpath
+func name(a, b string) string {
+	return a + b // want "string concatenation builds a new string"
+}
+
+// cold is unmarked and unreachable from any hot function: not checked.
+func cold() []int {
+	return make([]int, 8)
+}
+
+const debugEnabled = false
+
+// guarded's allocation sits behind a constant-false condition; the CFG
+// prunes the branch exactly as the compiler discards it.
+//simlint:hotpath
+func (c *core) guarded(v int) {
+	if debugEnabled {
+		c.seen = make(map[int]bool)
+	}
+	c.rs = append(c.rs, v)
+}
+
+//simlint:hotpath
+func (c *core) grow(n int) {
+	c.buf = make([]int, 0, n) //simlint:partial amortized regrow under a cap guard
+}
+`,
+		},
+	})
+}

@@ -1,0 +1,42 @@
+package analyzers
+
+import (
+	"testing"
+
+	"perfstacks/internal/analysis/analysistest"
+)
+
+func TestStaleAnnot(t *testing.T) {
+	analysistest.Run(t, StaleAnnot, analysistest.Package{
+		Path: "example.com/fake/hot",
+		Files: map[string]string{
+			"hot.go": `package hot
+
+type core struct {
+	scratch []int
+}
+
+// step's partial is live: the audit re-run of hotalloc still raises the
+// make finding on its line, so the suppression is doing work.
+//simlint:hotpath
+func step(c *core, n int) {
+	c.scratch = make([]int, 0, n) //simlint:partial amortized regrow, reviewed
+}
+
+// fixed's finding was repaired but the suppression was left behind — the
+// deleted-without-cleanup case the audit exists to catch.
+func fixed(x int) int {
+	//simlint:partial the map write here was removed // want ` + "`" + `stale simlint:partial annotation` + "`" + `
+	return x + 1
+}
+
+//simlint:hotpath // want ` + "`" + `does not mark a function declaration` + "`" + `
+var tuned = true
+
+//simlint:partial orphaned by a refactor // want ` + "`" + `anchors to no code` + "`" + `
+
+func anchor() {}
+`,
+		},
+	})
+}

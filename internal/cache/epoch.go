@@ -117,6 +117,8 @@ func (g *EpochGate) Port(i int) *EpochPort { return &g.ports[i] }
 // Begin opens core id's next step at the given cycle, publishing that no
 // access older than (cycle, id) can come from this core anymore. One atomic
 // store plus one atomic load on the per-cycle hot path.
+//
+//simlint:hotpath
 func (p *EpochPort) Begin(cycle int64) {
 	p.cycle = cycle
 	p.granted = false
@@ -129,15 +131,21 @@ func (p *EpochPort) Begin(cycle int64) {
 
 // Park marks the core parked at a barrier: it will not access the shared
 // level again until the harness re-anchors it past the release cycle.
+//
+//simlint:hotpath
 func (p *EpochPort) Park() { p.g.retreat(p.id) }
 
 // Finish marks the core done for good.
+//
+//simlint:hotpath
 func (p *EpochPort) Finish() { p.g.retreat(p.id) }
 
 // Reanchor restores a parked core's progress to its post-release cycle. The
 // harness must re-anchor every released core before waking any of them, so
 // no core is granted an access the ordering should have deferred behind a
 // slower sibling's earlier post-release cycle.
+//
+//simlint:hotpath
 func (p *EpochPort) Reanchor(cycle int64) {
 	g := p.g
 	g.mu.Lock()
@@ -150,6 +158,8 @@ func (p *EpochPort) Reanchor(cycle int64) {
 // acquires the grant; the rest of the step's accesses (more loads, L2
 // writebacks, prefetch fills) ride the same grant, since the core's progress
 // pins the global order until its next Begin.
+//
+//simlint:hotpath
 func (p *EpochPort) Access(req Request) Result {
 	g := p.g
 	if !p.granted && !g.free.Load() {

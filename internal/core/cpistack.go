@@ -131,6 +131,8 @@ func (m *MultiStageAccountant) Options() Options { return m.opts }
 
 // Cycle consumes one cycle's sample. A sample with Repeat > 1 stands for
 // that many identical idle cycles and is accounted in one batched step.
+//
+//simlint:hotpath
 func (m *MultiStageAccountant) Cycle(s *CycleSample) {
 	if invariant.Enabled {
 		debugCheckSample(s)

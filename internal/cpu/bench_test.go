@@ -1,0 +1,44 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"perfstacks/internal/bpred"
+	"perfstacks/internal/cache"
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/cpu"
+)
+
+// benchCore builds a warmed-up core streaming independent ALU uops. The
+// warm-up steps grow the amortized staging buffers to their steady-state
+// capacity so the timed region measures the true per-cycle cost.
+func benchCore() *cpu.Core {
+	m := config.BDW()
+	hier := cache.NewHierarchy(m.Hierarchy)
+	c := cpu.New(m.Core, hier, bpred.Perfect{}, linearTrace(1<<15))
+	acct := core.NewMultiStageAccountant(core.Options{Width: m.Core.MinWidth()})
+	c.Attach(acct)
+	for i := 0; i < 1024; i++ {
+		c.Step()
+	}
+	return c
+}
+
+// BenchmarkCoreStep is the dynamic witness of the property the hotalloc
+// analyzer proves statically: the bare per-cycle Step loop runs at
+// 0 allocs/op. Core construction and trace refill happen off the clock.
+// (BenchmarkSimulatorThroughput at the repo root measures the same loop
+// end-to-end through sim.Run, including amortized setup.)
+func BenchmarkCoreStep(b *testing.B) {
+	c := benchCore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Step() {
+			b.StopTimer()
+			c = benchCore()
+			b.StartTimer()
+		}
+	}
+}

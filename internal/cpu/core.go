@@ -182,6 +182,8 @@ func (c *Core) Yielded() bool { return c.yielded }
 // of the stall window, emitting one batched sample (CycleSample.Repeat) in
 // place of the per-cycle ones. It returns false once the core has finished
 // (trace drained and pipeline empty).
+//
+//simlint:hotpath
 func (c *Core) Step() bool {
 	if c.finished {
 		return false
@@ -284,7 +286,7 @@ func (c *Core) Step() bool {
 // releasing a memory-order-blocked load.
 func (c *Core) nextEvent() int64 {
 	next := int64(math.MaxInt64)
-	consider := func(t int64) {
+	consider := func(t int64) { //simlint:partial non-escaping closure, stack-allocated; BenchmarkSimulatorThroughput holds 0 allocs/op
 		if t >= c.now && t < next {
 			next = t
 		}
