@@ -1,0 +1,13 @@
+package zzreviewtmp
+
+type C struct{ buf []byte }
+
+func g() ([]byte, error) { return nil, nil }
+
+//simlint:hotpath
+func F(c *C) {
+	buf := c.buf[:0]
+	buf, _ = g() // multi-value assign: buf is now a fresh slice
+	buf = append(buf, 1)
+	c.buf = buf
+}
