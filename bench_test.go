@@ -379,3 +379,46 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSMPThroughputSliced tracks the sliced-uncore contention headroom:
+// barrier-free gangs (the shape where the epoch gate, not the barrier, is
+// the ceiling) at 2, 8 and 18 cores with a monolithic and a 4-slice shared
+// L3, stepped by the parallel harness. Run with -mutexprofile to see the
+// gate serialization move off the single access lock onto the per-slice
+// domains; the S=4/S=1 ns/op ratio on a multi-core host is the headline.
+func BenchmarkSMPThroughputSliced(b *testing.B) {
+	m := config.SKX()
+	for _, cores := range []int{2, 8, 18} {
+		for _, slices := range []int{1, 4} {
+			cores, slices := cores, slices
+			b.Run(fmt.Sprintf("cores=%d/slices=%d/barrier-free/parallel", cores, slices), func(b *testing.B) {
+				mm := m
+				mm.Hierarchy.L3Slices = slices
+				done := 0
+				for done < b.N {
+					per := uint64((b.N-done)/cores + 1)
+					if per > 100_000 {
+						per = 100_000
+					}
+					mk := func(tid int) trace.Reader {
+						k := workload.NewConv(workload.StyleSKX, workload.ConvTrain()[6],
+							workload.ConvFwd, mm.Core.VectorLanes, uint64(tid)+1, 0)
+						k.SetExtraOverhead(tid % 4)
+						return trace.NewLimit(k, per)
+					}
+					opts := sim.Default()
+					opts.Parallel = true
+					res := sim.RunSMP(mm, cores, mk, opts)
+					committed := 0
+					for _, st := range res.PerCore {
+						committed += int(st.Committed)
+					}
+					if committed == 0 {
+						b.Fatal("no uops committed")
+					}
+					done += committed
+				}
+			})
+		}
+	}
+}

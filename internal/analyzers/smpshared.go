@@ -9,17 +9,21 @@ import (
 
 // SMPShared enforces the parallel-SMP isolation contract introduced with the
 // epoch gate: core-step code (internal/cpu) may reach the shared uncore —
-// the shared L3 level and the memory bandwidth model — only through the
-// epoch API (cache.EpochPort), never by calling Access directly on a shared
-// level. In a parallel run every core steps on its own goroutine; a direct
-// Access bypasses the (cycle, core)-ordered grant protocol, and the result
-// is a data race plus a silent break of the byte-identity contract that
-// TestParallelSMPEquivalence pins. Deliberate direct accesses (single-core
-// construction paths, drains that run before workers start) are acknowledged
-// with a reasoned //simlint:partial annotation.
+// the sliced shared L3 (cache.SlicedLevel) and the multi-channel memory
+// bandwidth model — only through the epoch API (cache.EpochPort, whose
+// Access routes each request to its slice's ordering domain and takes that
+// slice's lock), never by calling Access directly on a shared level. In a
+// parallel run every core steps on its own goroutine; a direct Access — on
+// the sliced level, an individual slice, or the memory behind them —
+// bypasses the per-slice grant bookkeeping and the (cycle, core)-ordered
+// grant protocol, and the result is a data race plus a silent break of the
+// byte-identity contract that TestParallelSMPEquivalence pins. Deliberate
+// direct accesses (single-core construction paths, drains that run before
+// workers start) are acknowledged with a reasoned //simlint:partial
+// annotation.
 var SMPShared = &analysis.Analyzer{
 	Name: "smpshared",
-	Doc:  "internal/cpu must reach the shared uncore through the epoch API (cache.EpochPort), not direct Access on a shared level",
+	Doc:  "internal/cpu must reach the shared uncore through the epoch API (cache.EpochPort, the per-slice sanctioned path), not direct Access on a shared or sliced level",
 	Run:  runSMPShared,
 }
 
@@ -86,8 +90,14 @@ func isUncoreNamed(t types.Type, name string) bool {
 	return pkgSuffix(path, "internal/cache") || pkgSuffix(path, "internal/mem")
 }
 
-// isEpochAPI reports whether the receiver type is the epoch API itself:
+// isEpochAPI reports whether the receiver type is the epoch API itself —
 // cache.EpochPort (or the gate), whose Access IS the ordered entry point.
+// With the sliced uncore the port doubles as the per-slice sanctioned path:
+// its Access hashes the line to a slice and drains under that slice's
+// ordering domain, so port-routed code is slice-correct by construction.
+// The SlicedLevel itself, and its individual slices, are deliberately NOT in
+// this set: accessing them from core-step code skips the grant protocol
+// exactly like accessing a monolithic shared level would.
 func isEpochAPI(t types.Type) bool {
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()

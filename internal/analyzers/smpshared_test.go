@@ -32,9 +32,21 @@ type Cache struct{ hits int64 }
 
 func (c *Cache) Access(req Request) Result { c.hits++; return Result{DoneAt: req.At + 1} }
 
-// EpochPort is the epoch API: the one sanctioned path to the shared level.
+// SlicedLevel address-hashes the shared level into independent slices.
+type SlicedLevel struct {
+	slices []Level
+}
+
+func (s *SlicedLevel) Access(req Request) Result {
+	return s.slices[req.Addr&uint64(len(s.slices)-1)].Access(req)
+}
+
+func (s *SlicedLevel) Slice(i int) Level { return s.slices[i] }
+
+// EpochPort is the epoch API: the one sanctioned path to the shared level,
+// routing each request to its slice's ordering domain.
 type EpochPort struct {
-	shared Level
+	shared *SlicedLevel
 }
 
 func (p *EpochPort) Access(req Request) Result { return p.shared.Access(req) }
@@ -101,6 +113,21 @@ func (b *badConcrete) load(req cache.Request) cache.Result {
 // badMem: the memory bandwidth model is shared uncore state as well.
 func drainToDRAM(m *mem.Memory, req mem.Request) mem.Result {
 	return m.Access(req) // want "shared uncore mutated outside the epoch API"
+}
+
+// badSliced: the sliced level is still the shared uncore — hashing to a
+// slice does not excuse skipping the grant protocol.
+type badSliced struct {
+	l3 *cache.SlicedLevel
+}
+
+func (b *badSliced) load(req cache.Request) cache.Result {
+	return b.l3.Access(req) // want "shared uncore mutated outside the epoch API"
+}
+
+// badSlice: neither is one slice picked out of it.
+func pokeSlice(sl *cache.SlicedLevel, req cache.Request) cache.Result {
+	return sl.Slice(0).Access(req) // want "shared uncore mutated outside the epoch API"
 }
 
 // annotated is a deliberate pre-worker drain, reviewed by a human.

@@ -87,8 +87,8 @@ func TestDirtyEvictionWritesBack(t *testing.T) {
 	if c.Stats.Writebacks != 1 {
 		t.Fatalf("writebacks = %d, want 1", c.Stats.Writebacks)
 	}
-	if m.Stats.Writes != 1 {
-		t.Fatalf("memory saw %d writes, want 1", m.Stats.Writes)
+	if m.Stats().Writes != 1 {
+		t.Fatalf("memory saw %d writes, want 1", m.Stats().Writes)
 	}
 }
 
@@ -218,7 +218,7 @@ func TestHierarchyReset(t *testing.T) {
 	if h.L1D.Stats.Accesses() != 0 || h.L1I.Stats.Accesses() != 0 {
 		t.Fatal("Reset should clear statistics")
 	}
-	if h.Mem.Stats.Reads != 0 {
+	if h.Mem.Stats().Reads != 0 {
 		t.Fatal("Reset should clear memory statistics")
 	}
 }
@@ -341,5 +341,32 @@ func TestDataDepthReporting(t *testing.T) {
 	_, depth = h.DataDepth(0x777000, 5000, false)
 	if depth != 0 {
 		t.Fatalf("warm depth = %d, want 0", depth)
+	}
+}
+
+func TestL3RetainsLinesAcrossL2Evictions(t *testing.T) {
+	m := mem.New(mem.Config{Latency: 100})
+	l3 := New(Config{Name: "L3", SizeBytes: 1 << 20, Ways: 16, HitLatency: 30, MSHRs: 32}, MemLevel(m))
+	l2 := New(Config{Name: "L2", SizeBytes: 8 * 1024, Ways: 8, HitLatency: 10, MSHRs: 16}, l3)
+
+	// First touch: miss everywhere.
+	r := l2.Access(Request{Line: 42, At: 0})
+	if r.MissLevels != 2 {
+		t.Fatalf("first access MissLevels = %d, want 2", r.MissLevels)
+	}
+	// Evict line 42 from L2 by filling its set.
+	for i := uint64(1); i <= 16; i++ {
+		l2.Access(Request{Line: 42 + i*128, At: int64(1000 * i)})
+	}
+	if l2.Contains(42) {
+		t.Fatal("line 42 should have been evicted from L2")
+	}
+	if !l3.Contains(42) {
+		t.Fatal("line 42 should still be in L3")
+	}
+	// Re-access: should miss L2, hit L3.
+	r = l2.Access(Request{Line: 42, At: 100000})
+	if r.MissLevels != 1 {
+		t.Fatalf("re-access MissLevels = %d, want 1 (L3 hit)", r.MissLevels)
 	}
 }

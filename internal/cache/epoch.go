@@ -1,10 +1,10 @@
-// Epoch-sharded access to the shared uncore.
+// Epoch-sharded access to the sliced shared uncore.
 //
 // In parallel SMP runs, each core steps on its own goroutine between barrier
 // synchronization points, and the cores couple only through the shared L3
-// slice and the memory bandwidth model behind it. Those models are scalar
-// state machines (LRU arrays, MSHR pools, a bandwidth cursor) whose results
-// depend on the order requests arrive, so byte-identical results require the
+// and the memory bandwidth model behind it. Those models are scalar state
+// machines (LRU arrays, MSHR pools, bandwidth cursors) whose results depend
+// on the order requests arrive, so byte-identical results require the
 // parallel run to replay shared accesses in exactly the sequential lockstep
 // order: ascending (cycle, core) — core 0's cycle-T access before core 1's
 // cycle-T access before anyone's cycle-T+1 access.
@@ -19,9 +19,22 @@
 // the lagging cores advance, park at a barrier, or finish. Only the minimum
 // outstanding (cycle, core) key is ever eligible, so draining is total,
 // deadlock-free, and reproduces the sequential interleaving exactly.
+//
+// The shared level is a SlicedLevel, and each slice is its own ordering
+// domain: its own access lock, waiter set (a min-heap on the packed
+// (cycle, core) key) and grant bookkeeping, over its own L3 array, MSHR pool
+// and memory channel. The global grant sequence is still totally ordered —
+// under zero lookahead a mid-step core may yet touch any slice at its pinned
+// key, so two grants can never overlap without forfeiting byte-identity
+// (DESIGN §14) — but slicing removes every other shared cache line from the
+// hot path: the only globally shared hot word is `pending`, the packed key
+// of the minimal parked waiter, read once per Begin. After a cancellation
+// the order is abandoned and slices drain genuinely concurrently: disjoint
+// arrays, disjoint channels, per-slice locks.
 package cache
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -34,32 +47,55 @@ import (
 // cycle, which is at least every running core's current cycle) or finished.
 const unknownProgress = math.MaxInt64
 
-// EpochGate coordinates epoch-ordered access to one shared Level among n
-// concurrently stepping cores. Build the per-core hierarchies over Port(i).
+// idBits is the width of the core-id field in a packed (cycle, core) key:
+// key = cycle<<idBits | id. With 16 id bits a key holds 2^47 cycles, far
+// beyond any run length, and packed comparison is exactly the lexicographic
+// (cycle, core) order the grant protocol is defined on.
+const idBits = 16
+
+// noPending is the packed-key sentinel meaning "no parked waiter".
+const noPending = math.MaxUint64
+
+// packKey packs an ordering key; unpackKey inverts it.
+func packKey(cycle int64, id int) uint64 { return uint64(cycle)<<idBits | uint64(id) }
+
+func unpackKey(k uint64) (cycle int64, id int) {
+	return int64(k >> idBits), int(k & (1<<idBits - 1))
+}
+
+// EpochGate coordinates epoch-ordered access to a sliced shared level among
+// n concurrently stepping cores. Build the per-core hierarchies over
+// Port(i).
 type EpochGate struct {
-	shared Level
+	sliced *SlicedLevel
 
 	// grantHook, when set, observes each grant's cycle under the gate lock —
-	// the memory model's epoch floor (mem.SetEpochFloor) hangs off it.
+	// the memory model's epoch floor (mem.SetEpochFloor) hangs off it. One
+	// global hook suffices for the sliced uncore because the global grant
+	// sequence stays strictly increasing.
 	grantHook func(int64)
 
 	// progress[i] is a lower bound on the cycle of core i's next shared
 	// access: the cycle its current step opened, or unknownProgress while it
 	// is parked or finished. Written by the owning core, read by waiters.
 	progress []atomic.Int64
-	// gate[i] is the edge-trigger threshold for core i's progress: when a
-	// Begin crosses it, some waiter's eligibility may have changed and the
-	// core must kick the gate. unknownProgress when no waiter depends on i.
-	gate []atomic.Int64
 
-	// accessMu serializes the shared level itself. In normal operation the
-	// grant protocol already excludes concurrent access, so it is always
-	// uncontended; after cancellation it is the only exclusion left.
-	accessMu sync.Mutex
+	// pending caches the packed key of the minimal parked waiter across all
+	// slices (noPending when none). It is the edge trigger for Begin: a core
+	// whose new progress key exceeds it may have completed that waiter's
+	// eligibility and must kick the gate. Maintained incrementally on every
+	// park and grant — this replaces the former per-core threshold array,
+	// whose O(cores x waiters) recompute ran twice per grant.
+	pending atomic.Uint64
+	// pendingSlice is the slice whose heap head is `pending` (under mu).
+	pendingSlice int
 
-	mu      sync.Mutex
-	waiters []gateWaiter
-	free    atomic.Bool // cancellation: order abandoned, access serialized only
+	// mu is the ordering lock: waiter heaps, pending maintenance, grants.
+	mu sync.Mutex
+
+	slices []gateSlice
+
+	free atomic.Bool // cancellation: order abandoned, per-slice locks only
 
 	ports []EpochPort
 
@@ -68,17 +104,74 @@ type EpochGate struct {
 	lastID    int
 }
 
+// gateSlice is one slice's ordering domain.
+type gateSlice struct {
+	// accessMu serializes this slice's state machine (L3 array, MSHR pool,
+	// memory channel). In normal operation the grant protocol already
+	// excludes concurrent access, so it is always uncontended; after
+	// cancellation it is the only exclusion needed, and slices drain
+	// concurrently because their state is disjoint by construction.
+	accessMu sync.Mutex
+
+	// waiters is a binary min-heap on the packed key, guarded by the gate's
+	// ordering lock.
+	waiters []gateWaiter
+
+	// Last key granted on this slice, for the simdebug per-slice
+	// strict-order invariant.
+	lastCycle int64
+	lastID    int
+}
+
 // gateWaiter is one core blocked inside Access until its key is minimal.
 type gateWaiter struct {
-	cycle int64
-	id    int
-	wake  chan struct{}
+	key  uint64
+	wake chan struct{}
+}
+
+// push inserts a waiter into the heap (gate mu held).
+func (s *gateSlice) push(w gateWaiter) {
+	s.waiters = append(s.waiters, w)
+	i := len(s.waiters) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.waiters[parent].key <= s.waiters[i].key {
+			break
+		}
+		s.waiters[parent], s.waiters[i] = s.waiters[i], s.waiters[parent]
+		i = parent
+	}
+}
+
+// popMin removes and returns the minimal waiter (gate mu held, heap
+// non-empty).
+func (s *gateSlice) popMin() gateWaiter {
+	w := s.waiters[0]
+	n := len(s.waiters) - 1
+	s.waiters[0] = s.waiters[n]
+	s.waiters = s.waiters[:n]
+	i := 0
+	for {
+		l, r, min := 2*i+1, 2*i+2, i
+		if l < n && s.waiters[l].key < s.waiters[min].key {
+			min = l
+		}
+		if r < n && s.waiters[r].key < s.waiters[min].key {
+			min = r
+		}
+		if min == i {
+			return w
+		}
+		s.waiters[i], s.waiters[min] = s.waiters[min], s.waiters[i]
+		i = min
+	}
 }
 
 // EpochPort is core i's window onto the shared level. It implements Level;
 // the core's private hierarchy is built over it (cache.NewHierarchyShared),
 // so every L3-bound request — demand fills, dirty writebacks, prefetches —
-// funnels through Access in the core's own program order.
+// funnels through Access in the core's own program order. The port routes
+// each request to its slice and takes only that slice's lock.
 //
 // The port is owned by one goroutine: Begin/Access/Park/Finish must be
 // called only by the core's stepping goroutine.
@@ -87,22 +180,33 @@ type EpochPort struct {
 	id      int
 	cycle   int64
 	granted bool
-	wake    chan struct{}
+	// kicked is the pending key this port last kicked for: each core's
+	// eligibility contribution to a given waiter changes at most once (its
+	// first Begin past the key), so later Begins against the same pending
+	// value can skip the gate lock.
+	kicked uint64
+	wake   chan struct{}
 }
 
-// NewEpochGate builds a gate for n cores over the shared level.
-func NewEpochGate(shared Level, n int) *EpochGate {
+// NewEpochGate builds a gate for n cores over the sliced shared level.
+func NewEpochGate(shared *SlicedLevel, n int) *EpochGate {
+	if n >= 1<<idBits {
+		panic(fmt.Sprintf("cache: epoch gate supports at most %d cores, got %d", 1<<idBits-1, n))
+	}
 	g := &EpochGate{
-		shared:   shared,
+		sliced:   shared,
 		progress: make([]atomic.Int64, n),
-		gate:     make([]atomic.Int64, n),
+		slices:   make([]gateSlice, shared.NumSlices()),
 		ports:    make([]EpochPort, n),
 	}
+	g.pending.Store(noPending)
 	for i := 0; i < n; i++ {
-		g.gate[i].Store(unknownProgress)
-		g.ports[i] = EpochPort{g: g, id: i, wake: make(chan struct{}, 1)}
+		g.ports[i] = EpochPort{g: g, id: i, kicked: noPending, wake: make(chan struct{}, 1)}
 	}
 	g.lastCycle, g.lastID = -1, n // sentinel below any real grant key
+	for i := range g.slices {
+		g.slices[i].lastCycle, g.slices[i].lastID = -1, n
+	}
 	return g
 }
 
@@ -124,7 +228,8 @@ func (p *EpochPort) Begin(cycle int64) {
 	p.granted = false
 	g := p.g
 	g.progress[p.id].Store(cycle)
-	if cycle >= g.gate[p.id].Load() {
+	if pk := g.pending.Load(); packKey(cycle, p.id) > pk && pk != p.kicked {
+		p.kicked = pk
 		g.kick()
 	}
 }
@@ -153,35 +258,39 @@ func (p *EpochPort) Reanchor(cycle int64) {
 	g.mu.Unlock()
 }
 
-// Access implements Level: it drains the request into the shared level once
+// Access implements Level: it drains the request into the owning slice once
 // every earlier-ordered access has drained. The first access of a step
 // acquires the grant; the rest of the step's accesses (more loads, L2
-// writebacks, prefetch fills) ride the same grant, since the core's progress
-// pins the global order until its next Begin.
+// writebacks, prefetch fills) ride the same grant — possibly across several
+// slices — since the core's progress pins the global order until its next
+// Begin.
 //
 //simlint:hotpath
 func (p *EpochPort) Access(req Request) Result {
 	g := p.g
+	s := g.sliced.SliceOf(req.Line)
 	if !p.granted && !g.free.Load() {
-		g.acquire(p)
+		g.acquire(p, s)
 		p.granted = true
 	}
-	g.accessMu.Lock()
-	res := g.shared.Access(req)
-	g.accessMu.Unlock()
+	sl := &g.slices[s]
+	sl.accessMu.Lock()
+	res := g.sliced.Slice(s).Access(req)
+	sl.accessMu.Unlock()
 	return res
 }
 
 // ResetState implements Level by forwarding to the shared level. The SMP
 // harness owns the shared level's lifecycle; ports are never reset mid-run.
-func (p *EpochPort) ResetState() { p.g.shared.ResetState() }
+func (p *EpochPort) ResetState() { p.g.sliced.ResetState() }
 
 // retreat withdraws a core from the order (barrier park or finish): its
-// progress becomes unknownProgress, which may make the head waiter eligible.
+// progress becomes unknownProgress, which may make the minimal waiter
+// eligible.
 func (g *EpochGate) retreat(id int) {
 	g.mu.Lock()
 	g.progress[id].Store(unknownProgress)
-	g.reevaluate()
+	g.grantPending()
 	g.mu.Unlock()
 }
 
@@ -201,28 +310,38 @@ func (g *EpochGate) eligible(cycle int64, id int) bool {
 	return true
 }
 
-// acquire blocks until (p.cycle, p.id) is the minimal outstanding key. The
-// store-thresholds-then-recheck ordering against Begin's store-progress-
-// then-check-threshold is the classic flag protocol: under Go's sequentially
+// acquire blocks until (p.cycle, p.id) is the minimal outstanding key; s is
+// the slice of the step's first access, where the waiter parks. The
+// store-pending-then-recheck ordering against Begin's store-progress-then-
+// check-pending is the classic flag protocol: under Go's sequentially
 // consistent atomics at least one side observes the other, so no wakeup is
 // lost.
-func (g *EpochGate) acquire(p *EpochPort) {
+func (g *EpochGate) acquire(p *EpochPort, s int) {
 	g.mu.Lock()
 	if g.free.Load() {
 		g.mu.Unlock()
 		return
 	}
 	if g.eligible(p.cycle, p.id) {
-		g.noteGrant(p.cycle, p.id)
+		g.noteGrant(s, p.cycle, p.id)
 		g.mu.Unlock()
 		return
 	}
-	g.waiters = append(g.waiters, gateWaiter{cycle: p.cycle, id: p.id, wake: p.wake})
-	g.regate()
+	k := packKey(p.cycle, p.id)
+	g.slices[s].push(gateWaiter{key: k, wake: p.wake})
+	if k < g.pending.Load() {
+		g.pendingSlice = s
+		g.pending.Store(k)
+	}
 	if g.eligible(p.cycle, p.id) {
-		g.dropWaiter(p.id)
-		g.regate()
-		g.noteGrant(p.cycle, p.id)
+		// Eligible means every parked core's pinned key exceeds ours, so we
+		// are the heap minimum of our slice and the pending key: self-grant.
+		w := g.slices[s].popMin()
+		if invariant.Enabled {
+			invariant.Assertf(w.key == k, "epoch gate: self-grant popped key %d, want %d", w.key, k)
+		}
+		g.refreshPending()
+		g.noteGrant(s, p.cycle, p.id)
 		g.mu.Unlock()
 		return
 	}
@@ -230,81 +349,61 @@ func (g *EpochGate) acquire(p *EpochPort) {
 	<-p.wake
 }
 
-// kick is the slow half of Begin's threshold crossing: refresh the
-// thresholds and grant the head waiter if it became eligible.
+// kick is the slow half of Begin's pending-key crossing: grant the minimal
+// waiter if it became eligible.
 func (g *EpochGate) kick() {
 	g.mu.Lock()
-	g.regate()
-	g.reevaluate()
+	g.grantPending()
 	g.mu.Unlock()
 }
 
-// regate recomputes every core's wake threshold from the current waiters: a
-// waiter at (T, i) needs to hear from core j once progress[j] reaches T+1
-// (for j < i) or T (for j > i).
-func (g *EpochGate) regate() {
-	for j := range g.gate {
-		th := int64(unknownProgress)
-		for _, w := range g.waiters {
-			if w.id == j {
-				continue
-			}
-			need := w.cycle
-			if j < w.id {
-				need = w.cycle + 1
-			}
-			if need < th {
-				th = need
-			}
-		}
-		g.gate[j].Store(th)
-	}
-}
-
-// reevaluate grants the minimal-key waiter if it is eligible. At most one
-// waiter can hold the minimal key, and a grant leaves the grantee mid-cycle
-// (its progress pinned), so no second waiter can become eligible until the
-// grantee's next Begin kicks the gate again.
-func (g *EpochGate) reevaluate() {
-	if len(g.waiters) == 0 {
+// grantPending grants the minimal-key waiter if it is eligible (gate mu
+// held). At most one waiter can hold the minimal key, and a grant leaves the
+// grantee mid-cycle (its progress pinned), so no second waiter can become
+// eligible until the grantee's next Begin kicks the gate again — there is
+// never a cascade to chase.
+func (g *EpochGate) grantPending() {
+	pk := g.pending.Load()
+	if pk == noPending {
 		return
 	}
-	head := 0
-	for i := 1; i < len(g.waiters); i++ {
-		w, h := g.waiters[i], g.waiters[head]
-		if w.cycle < h.cycle || (w.cycle == h.cycle && w.id < h.id) {
-			head = i
-		}
-	}
-	w := g.waiters[head]
-	if !g.eligible(w.cycle, w.id) {
+	cycle, id := unpackKey(pk)
+	if !g.eligible(cycle, id) {
 		return
 	}
-	g.waiters[head] = g.waiters[len(g.waiters)-1]
-	g.waiters = g.waiters[:len(g.waiters)-1]
-	g.regate()
-	g.noteGrant(w.cycle, w.id)
+	s := g.pendingSlice
+	w := g.slices[s].popMin()
+	g.refreshPending()
+	g.noteGrant(s, cycle, id)
 	w.wake <- struct{}{}
 }
 
-// dropWaiter removes core id's waiter entry (self-grant on the recheck).
-func (g *EpochGate) dropWaiter(id int) {
-	for i := range g.waiters {
-		if g.waiters[i].id == id {
-			g.waiters[i] = g.waiters[len(g.waiters)-1]
-			g.waiters = g.waiters[:len(g.waiters)-1]
-			return
+// refreshPending recomputes the pending key as the minimum over the slice
+// heap heads (gate mu held): O(slices) per grant instead of the former
+// O(cores x waiters) threshold recompute.
+func (g *EpochGate) refreshPending() {
+	best, bi := uint64(noPending), 0
+	for i := range g.slices {
+		if ws := g.slices[i].waiters; len(ws) > 0 && ws[0].key < best {
+			best, bi = ws[0].key, i
 		}
 	}
+	g.pendingSlice = bi
+	g.pending.Store(best)
 }
 
-// noteGrant records a grant (gate lock held). Grants must occur in strictly
-// increasing (cycle, core) order — that IS the byte-identity argument — and
-// the simdebug build asserts it on every grant.
-func (g *EpochGate) noteGrant(cycle int64, id int) {
+// noteGrant records a grant on slice s (gate mu held). Grants must occur in
+// strictly increasing (cycle, core) order globally — that IS the
+// byte-identity argument — and therefore also within every slice's
+// subsequence; the simdebug build asserts both on every grant.
+func (g *EpochGate) noteGrant(s int, cycle int64, id int) {
 	if invariant.Enabled {
 		invariant.Assertf(cycle > g.lastCycle || (cycle == g.lastCycle && id > g.lastID),
 			"epoch gate: grant (%d,%d) not after (%d,%d)", cycle, id, g.lastCycle, g.lastID)
+		sl := &g.slices[s]
+		invariant.Assertf(cycle > sl.lastCycle || (cycle == sl.lastCycle && id > sl.lastID),
+			"epoch gate: slice %d grant (%d,%d) not after (%d,%d)", s, cycle, id, sl.lastCycle, sl.lastID)
+		sl.lastCycle, sl.lastID = cycle, id
 	}
 	g.lastCycle, g.lastID = cycle, id
 	if g.grantHook != nil {
@@ -313,8 +412,9 @@ func (g *EpochGate) noteGrant(cycle int64, id int) {
 }
 
 // Cancel abandons the deterministic order: every parked waiter is released
-// and future accesses serialize only on the access lock. Results after a
-// cancel are partial by contract and never byte-compared.
+// and future accesses serialize only on the per-slice access locks (safe
+// because slices own disjoint arrays, MSHR pools and memory channels).
+// Results after a cancel are partial by contract and never byte-compared.
 func (g *EpochGate) Cancel() {
 	g.mu.Lock()
 	if !g.free.Load() {
@@ -322,10 +422,13 @@ func (g *EpochGate) Cancel() {
 		if g.grantHook != nil {
 			g.grantHook(math.MinInt64)
 		}
-		for _, w := range g.waiters {
-			w.wake <- struct{}{}
+		for i := range g.slices {
+			for _, w := range g.slices[i].waiters {
+				w.wake <- struct{}{}
+			}
+			g.slices[i].waiters = g.slices[i].waiters[:0]
 		}
-		g.waiters = g.waiters[:0]
+		g.pending.Store(noPending)
 	}
 	g.mu.Unlock()
 }

@@ -1,0 +1,57 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fixedLevel is a trivial shared level so the benchmark measures the gate,
+// not the cache model behind it.
+type fixedLevel struct{ lat int64 }
+
+func (f fixedLevel) Access(req Request) Result { return Result{DoneAt: req.At + f.lat} }
+func (f fixedLevel) ResetState()               {}
+
+// benchGate builds a gate over `slices` trivial slices for `cores` ports.
+func benchGate(cores, slices int) *EpochGate {
+	lv := make([]Level, slices)
+	for i := range lv {
+		lv[i] = fixedLevel{lat: 30}
+	}
+	return NewEpochGate(NewSlicedLevel(lv), cores)
+}
+
+// BenchmarkEpochGateContention measures the grant protocol under the worst
+// shape: every core needs the shared level on every cycle, so every access
+// goes through eligibility, parking and wake. Lines stride across slices, so
+// the slice dimension shows how much of the per-access cost is the shared
+// bookkeeping (waiter set, access lock) that slicing shards. Run with
+// -mutexprofile to see the contention move off the monolithic locks.
+func BenchmarkEpochGateContention(b *testing.B) {
+	for _, cores := range []int{2, 4, 8} {
+		for _, slices := range []int{1, 4} {
+			cores, slices := cores, slices
+			b.Run(fmt.Sprintf("cores=%d/slices=%d", cores, slices), func(b *testing.B) {
+				g := benchGate(cores, slices)
+				per := b.N / cores
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for id := 0; id < cores; id++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						p := g.Port(id)
+						for c := 0; c < per; c++ {
+							cycle := int64(c)
+							p.Begin(cycle)
+							p.Access(Request{Line: uint64(c*cores + id), At: cycle})
+						}
+						p.Finish()
+					}(id)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

@@ -21,45 +21,97 @@ type HierarchyConfig struct {
 	PerfectL1I bool
 	// PerfectL1D makes every data access hit in L1-D (and skips the DTLB).
 	PerfectL1D bool
+
+	// L3Slices address-partitions the L3 into a power-of-two number of
+	// independent slices (SlicedLevel), each with SizeBytes/S capacity,
+	// MSHRs/S miss registers and its own memory channel. 0 and 1 both mean a
+	// monolithic L3 and are omitted from the canonical encoding, so adding
+	// this knob changed no existing cache key.
+	L3Slices int `canon:"omitzero"`
+	// MemChannels is the memory channel count: a power-of-two multiple of
+	// the slice count (each channel belongs to exactly one slice). 0 means
+	// one channel per L3 slice, and is likewise canonical-omitted.
+	MemChannels int `canon:"omitzero"`
+}
+
+// SliceCount returns the effective L3 slice count (0 and 1 both mean one).
+func (cfg HierarchyConfig) SliceCount() int {
+	if cfg.L3Slices < 1 {
+		return 1
+	}
+	return cfg.L3Slices
+}
+
+// ChannelCount returns the effective memory channel count: MemChannels when
+// set, otherwise one channel per L3 slice.
+func (cfg HierarchyConfig) ChannelCount() int {
+	if cfg.MemChannels < 1 {
+		return cfg.SliceCount()
+	}
+	return cfg.MemChannels
 }
 
 // Hierarchy wires private L1-I, L1-D and a unified private L2 above a shared
 // L3 slice and main memory. The unified L2/L3 levels hold instruction and
 // data lines in one array, producing the I$/D$ coupling the paper analyzes.
 type Hierarchy struct {
-	L1I  *Cache
-	L1D  *Cache
-	L2   *Cache
-	L3   *Cache // nil when the L3 is shared and owned elsewhere
-	ITLB *TLB
-	DTLB *TLB
-	Mem  *mem.Memory // nil when memory is shared and owned elsewhere
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	// L3 is the monolithic L3; nil when the L3 is shared and owned
+	// elsewhere, or sliced (then L3Sliced holds it).
+	L3 *Cache
+	// L3Sliced is the address-sliced L3 when cfg.L3Slices > 1.
+	L3Sliced *SlicedLevel
+	ITLB     *TLB
+	DTLB     *TLB
+	Mem      *mem.Memory // nil when memory is shared and owned elsewhere
 
 	cfg      HierarchyConfig
 	perfectI bool
 	perfectD bool
 }
 
-// memLevel adapts mem.Memory to the cache Level interface.
-type memLevel struct{ m *mem.Memory }
+// memLevel adapts mem.Memory to the cache Level interface, routing each line
+// to its channel with the slice hash (chanMask = channels-1, so on a
+// single-channel device every request lands on channel 0 exactly as before).
+type memLevel struct {
+	m        *mem.Memory
+	chanMask uint64
+}
 
+//simlint:hotpath
 func (ml memLevel) Access(req Request) Result {
-	done := ml.m.Access(mem.Request{Line: req.Line, At: req.At, Write: req.Write, Prefetch: req.Prefetch})
+	done := ml.m.Access(mem.Request{
+		Line: req.Line, At: req.At, Write: req.Write, Prefetch: req.Prefetch,
+		Channel: sliceIndex(req.Line, ml.chanMask),
+	})
 	return Result{DoneAt: done, MissLevels: 0}
 }
 
 func (ml memLevel) ResetState() { ml.m.Reset() }
 
 // MemLevel wraps a memory model as a Level (exported for the SMP harness).
-func MemLevel(m *mem.Memory) Level { return memLevel{m} }
+// Lines are routed to the memory's channels by the slice hash.
+func MemLevel(m *mem.Memory) Level {
+	return memLevel{m: m, chanMask: uint64(m.Channels() - 1)}
+}
 
-// NewHierarchy builds a private hierarchy including its own L3 slice and
-// memory model.
+// NewHierarchy builds a private hierarchy including its own L3 (monolithic
+// or sliced per cfg.L3Slices) and memory model.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
-	m := mem.New(cfg.Mem)
-	l3 := New(cfg.L3, MemLevel(m))
+	s := cfg.SliceCount()
+	m := mem.NewChannels(cfg.Mem, cfg.ChannelCount())
+	if s == 1 {
+		l3 := New(cfg.L3, MemLevel(m))
+		h := newPrivate(cfg, l3)
+		h.L3 = l3
+		h.Mem = m
+		return h
+	}
+	l3 := NewSlicedL3(cfg.L3, s, m)
 	h := newPrivate(cfg, l3)
-	h.L3 = l3
+	h.L3Sliced = l3
 	h.Mem = m
 	return h
 }
@@ -94,6 +146,9 @@ func (h *Hierarchy) Reset() {
 	h.L2.ResetState()
 	if h.L3 != nil {
 		h.L3.ResetState()
+	}
+	if h.L3Sliced != nil {
+		h.L3Sliced.ResetState()
 	}
 	if h.Mem != nil {
 		h.Mem.Reset()

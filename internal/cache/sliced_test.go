@@ -1,0 +1,132 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"perfstacks/internal/mem"
+)
+
+// TestSliceIndexPartition is the partition property: for every slice count
+// the hash maps each line to exactly one in-range slice, deterministically,
+// and no slice is starved over a dense line sweep (the hash folds tag bits
+// into the index, so both sequential and large-stride streams must spread).
+func TestSliceIndexPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, s := range []int{1, 2, 4, 8, 16} {
+		mask := uint64(s - 1)
+		hit := make([]int, s)
+		check := func(line uint64) {
+			idx := sliceIndex(line, mask)
+			if idx < 0 || idx >= s {
+				t.Fatalf("s=%d: line %#x mapped to slice %d, out of range", s, line, idx)
+			}
+			if again := sliceIndex(line, mask); again != idx {
+				t.Fatalf("s=%d: line %#x mapped to %d then %d", s, line, idx, again)
+			}
+			hit[idx]++
+		}
+		for line := uint64(0); line < 1<<12; line++ {
+			check(line) // dense sweep
+			check(line << 12)
+			check(rng.Uint64())
+		}
+		for i, n := range hit {
+			if n == 0 {
+				t.Fatalf("s=%d: slice %d received no lines", s, i)
+			}
+		}
+	}
+}
+
+// TestSlicedSingleIdentical pins the default-path contract: an S=1 sliced L3
+// produces the exact access stream — every completion time, every miss
+// depth, every cache and memory counter — of the monolithic level it wraps,
+// so turning the slicing machinery on with one slice changes no result byte.
+func TestSlicedSingleIdentical(t *testing.T) {
+	cfg := Config{Name: "L3", SizeBytes: 256 * 1024, Ways: 8, HitLatency: 30, MSHRs: 8}
+	memCfg := mem.Config{Latency: 150, CyclesPerLine: 12}
+
+	monoMem := mem.New(memCfg)
+	mono := New(cfg, MemLevel(monoMem))
+	slicedMem := mem.New(memCfg)
+	sliced := NewSlicedL3(cfg, 1, slicedMem)
+
+	rng := rand.New(rand.NewSource(42))
+	at := int64(0)
+	for i := 0; i < 20000; i++ {
+		req := Request{
+			Line:     rng.Uint64() % 8192,
+			At:       at,
+			Write:    rng.Intn(8) == 0,
+			Prefetch: rng.Intn(16) == 0,
+			Instr:    rng.Intn(4) == 0,
+		}
+		a := mono.Access(req)
+		b := sliced.Access(req)
+		if a != b {
+			t.Fatalf("request %d (%+v): monolithic %+v, sliced %+v", i, req, a, b)
+		}
+		at += int64(rng.Intn(40))
+	}
+	if ms, ss := mono.Stats, sliced.Slice(0).(*Cache).Stats; ms != ss {
+		t.Fatalf("cache stats diverged: monolithic %+v, sliced %+v", ms, ss)
+	}
+	if ms, ss := monoMem.Stats(), slicedMem.Stats(); ms != ss {
+		t.Fatalf("memory stats diverged: monolithic %+v, sliced %+v", ms, ss)
+	}
+}
+
+// TestSlicedDisjointOwnership: a line only ever materializes in the slice
+// the hash owns it by — the slices are disjoint state machines.
+func TestSlicedDisjointOwnership(t *testing.T) {
+	const s = 4
+	m := mem.NewChannels(mem.Config{Latency: 100}, s)
+	sl := NewSlicedL3(Config{Name: "L3", SizeBytes: 512 * 1024, Ways: 8, HitLatency: 30, MSHRs: 8}, s, m)
+	for line := uint64(0); line < 2048; line++ {
+		sl.Access(Request{Line: line, At: int64(line) * 10})
+	}
+	for line := uint64(0); line < 2048; line++ {
+		owner := sl.SliceOf(line)
+		for i := 0; i < s; i++ {
+			if i != owner && sl.Slice(i).(*Cache).Contains(line) {
+				t.Fatalf("line %#x owned by slice %d but present in slice %d", line, owner, i)
+			}
+		}
+	}
+}
+
+// TestNewSlicedL3DividesResources: the per-slice configs partition the
+// aggregate pool, so S slices together hold the monolithic capacity.
+func TestNewSlicedL3DividesResources(t *testing.T) {
+	cfg := Config{Name: "L3", SizeBytes: 1 << 20, Ways: 16, HitLatency: 30, MSHRs: 32}
+	m := mem.NewChannels(mem.Config{Latency: 100}, 8)
+	sl := NewSlicedL3(cfg, 8, m)
+	for i := 0; i < sl.NumSlices(); i++ {
+		per := sl.Slice(i).(*Cache).Config()
+		if per.SizeBytes != cfg.SizeBytes/8 {
+			t.Fatalf("slice %d size = %d, want %d", i, per.SizeBytes, cfg.SizeBytes/8)
+		}
+		if per.MSHRs != cfg.MSHRs/8 {
+			t.Fatalf("slice %d MSHRs = %d, want %d", i, per.MSHRs, cfg.MSHRs/8)
+		}
+	}
+	if m.Channels() != 8 {
+		t.Fatalf("channels = %d, want 8", m.Channels())
+	}
+}
+
+// TestSlicedChannelRefinesSlice: the memory channel of a line is always
+// owned by the line's L3 slice (channel index ≡ slice index mod S), which is
+// what makes post-cancel per-slice draining race-free down to the DRAM
+// cursors.
+func TestSlicedChannelRefinesSlice(t *testing.T) {
+	const s, c = 4, 8
+	sliceMask, chanMask := uint64(s-1), uint64(c-1)
+	for line := uint64(0); line < 1<<16; line++ {
+		if sliceIndex(line, chanMask)%s != sliceIndex(line, sliceMask) {
+			t.Fatalf("line %#x: channel %d not owned by slice %d",
+				line, sliceIndex(line, chanMask), sliceIndex(line, sliceMask))
+		}
+	}
+}

@@ -91,6 +91,40 @@ func (m Machine) Validate() error {
 	if m.SocketCores < 1 {
 		return fmt.Errorf("machine %s: socket core count must be >= 1", m.Name)
 	}
+	if err := validateUncoreShape(m.Hierarchy); err != nil {
+		return fmt.Errorf("machine %s: %w", m.Name, err)
+	}
+	return nil
+}
+
+// maxL3Slices bounds the slice knob: far above any real LLC slice count, low
+// enough that a hostile request cannot ask for a degenerate hierarchy.
+const maxL3Slices = 64
+
+// validateUncoreShape checks the sliced-uncore knobs: power-of-two counts,
+// channels a multiple of slices (so every channel is owned by exactly one
+// slice), and a per-slice L3 that is still a valid cache.
+func validateUncoreShape(h cache.HierarchyConfig) error {
+	s, c := h.L3Slices, h.MemChannels
+	if s < 0 || s > maxL3Slices || (s > 1 && s&(s-1) != 0) {
+		return fmt.Errorf("l3 slices must be a power of two in [1,%d], got %d", maxL3Slices, s)
+	}
+	if c < 0 || c > maxL3Slices || (c > 1 && c&(c-1) != 0) {
+		return fmt.Errorf("mem channels must be a power of two in [1,%d], got %d", maxL3Slices, c)
+	}
+	if h.ChannelCount() < h.SliceCount() {
+		return fmt.Errorf("mem channels (%d) must be >= l3 slices (%d)", h.ChannelCount(), h.SliceCount())
+	}
+	if eff := h.SliceCount(); eff > 1 {
+		if h.L3.Prefetch.Enabled {
+			return fmt.Errorf("l3 prefetching cannot be combined with l3 slices: a per-slice prefetcher would install lines the hash owns elsewhere")
+		}
+		per := h.L3
+		per.SizeBytes = h.L3.SizeBytes / eff
+		if err := per.Validate(); err != nil {
+			return fmt.Errorf("per-slice l3 (1/%d of pool): %w", eff, err)
+		}
+	}
 	return nil
 }
 

@@ -49,6 +49,7 @@ func Figure5(spec RunSpec) Figure5Result {
 	m := config.SKX()
 
 	runOne := func(mm config.Machine, label string) Figure5Run {
+		mm.Hierarchy.L3Slices = spec.L3Slices
 		opts := sim.Options{CPI: true, FLOPS: true, WarmupUops: spec.Warmup,
 			Parallel: spec.SMPParallel}
 		res := sim.RunSMP(mm, figure5Cores, func(tid int) trace.Reader {

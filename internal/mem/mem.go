@@ -5,9 +5,21 @@
 // memory model: the paper divides socket memory bandwidth by the core count
 // to mimic a fully loaded processor, which here simply raises the per-line
 // spacing.
+//
+// The device may be split into a power-of-two number of channels, each with
+// its own bandwidth cursor and statistics. Callers that address-slice the
+// levels above (cache.SlicedLevel) route each line to a channel by the same
+// hash, so disjoint slices never share queueing state. Aggregate bandwidth
+// is preserved by construction: each of n channels spaces lines
+// CyclesPerLine*n apart, so together they sustain one line per CyclesPerLine.
 package mem
 
-import "perfstacks/internal/invariant"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"perfstacks/internal/invariant"
+)
 
 // Request describes one line-sized memory access.
 type Request struct {
@@ -19,6 +31,11 @@ type Request struct {
 	Write bool
 	// Prefetch marks hardware prefetches (accounted separately in stats).
 	Prefetch bool
+	// Channel selects the channel serving this line: 0 on a single-channel
+	// device, the address-hash channel index otherwise. The caller routes —
+	// memory has no opinion on the hash — so the cache layer and the memory
+	// layer agree on slice ownership by construction.
+	Channel int
 }
 
 // Config sizes the memory model.
@@ -26,7 +43,8 @@ type Config struct {
 	// Latency is the idle (unloaded) access latency in core cycles.
 	Latency int64
 	// CyclesPerLine is the minimum spacing between line transfers, i.e. the
-	// inverse bandwidth in core cycles per cache line.
+	// inverse bandwidth in core cycles per cache line. On a multi-channel
+	// device this is the aggregate spacing; each channel runs n times slower.
 	CyclesPerLine int64
 	// MaxQueue bounds how far the bandwidth queue may run ahead; requests
 	// that would exceed it are still served but the queue depth statistic
@@ -43,32 +61,74 @@ type Stats struct {
 	StallCycles int64
 }
 
+// add accumulates o into s.
+func (s *Stats) add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Prefetches += o.Prefetches
+	s.StallCycles += o.StallCycles
+}
+
 // Memory is the DRAM model. It is not safe for unsynchronized concurrent
 // use: the sequential SMP harness steps cores round-robin on one goroutine,
 // and the parallel harness serializes accesses through the cache package's
 // epoch gate, which also keeps them in ascending epoch order (SetEpochFloor
-// lets the simdebug build assert that).
+// lets the simdebug build assert that). After a cancellation the gate only
+// guarantees per-slice exclusion, which suffices because each channel is
+// owned by exactly one slice.
 type Memory struct {
-	cfg      Config
-	nextSlot int64
+	cfg     Config
+	spacing int64
+	// nextSlot is the per-channel bandwidth cursor.
+	nextSlot []int64
 	// epochFloor is the cycle of the current epoch grant: every request must
 	// arrive at or after it. Only checked under the simdebug build tag.
-	epochFloor int64
-	// Stats is exported for experiment reporting.
-	Stats Stats
+	// Atomic because the cancellation path resets it concurrently with
+	// lingering pre-cancel accesses.
+	epochFloor atomic.Int64
+	// stats is per-channel so post-cancel slice-parallel drains never share a
+	// counter.
+	stats []Stats
 }
 
-// New builds a Memory from cfg. A zero CyclesPerLine disables the bandwidth
-// limit.
-func New(cfg Config) *Memory {
+// New builds a single-channel Memory from cfg. A zero CyclesPerLine disables
+// the bandwidth limit.
+func New(cfg Config) *Memory { return NewChannels(cfg, 1) }
+
+// NewChannels builds a Memory with n independent channels. n must be a power
+// of two >= 1 (the routing hash masks with n-1).
+func NewChannels(cfg Config, n int) *Memory {
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("mem: channel count %d is not a power of two", n))
+	}
 	if cfg.Latency <= 0 {
 		cfg.Latency = 1
 	}
-	return &Memory{cfg: cfg}
+	return &Memory{
+		cfg:      cfg,
+		spacing:  cfg.CyclesPerLine * int64(n),
+		nextSlot: make([]int64, n),
+		stats:    make([]Stats, n),
+	}
 }
 
 // Config returns the active configuration.
 func (m *Memory) Config() Config { return m.cfg }
+
+// Channels returns the channel count.
+func (m *Memory) Channels() int { return len(m.nextSlot) }
+
+// Stats aggregates traffic counters over all channels.
+func (m *Memory) Stats() Stats {
+	var t Stats
+	for i := range m.stats {
+		t.add(m.stats[i])
+	}
+	return t
+}
+
+// ChannelStats returns channel i's counters.
+func (m *Memory) ChannelStats(i int) Stats { return m.stats[i] }
 
 // SetEpochFloor records the cycle of the epoch now draining into memory.
 // Requests under one grant all carry At >= the grant cycle (each hop down
@@ -76,36 +136,41 @@ func (m *Memory) Config() Config { return m.cfg }
 // order, so the floor lets the simdebug build assert that no access slipped
 // past the epoch gate out of order. The parallel SMP harness calls it via
 // the gate's grant hook; sequential runs never set it.
-func (m *Memory) SetEpochFloor(cycle int64) { m.epochFloor = cycle }
+func (m *Memory) SetEpochFloor(cycle int64) { m.epochFloor.Store(cycle) }
 
 // Access serves one request and returns the cycle its data is available.
 func (m *Memory) Access(req Request) int64 {
 	if invariant.Enabled {
-		invariant.Assertf(req.At >= m.epochFloor,
-			"mem: request at cycle %d arrived under epoch floor %d", req.At, m.epochFloor)
+		invariant.Assertf(req.At >= m.epochFloor.Load(),
+			"mem: request at cycle %d arrived under epoch floor %d", req.At, m.epochFloor.Load())
+		invariant.Assertf(req.Channel >= 0 && req.Channel < len(m.nextSlot),
+			"mem: channel %d out of range [0,%d)", req.Channel, len(m.nextSlot))
 	}
+	st := &m.stats[req.Channel]
 	switch {
 	case req.Write:
-		m.Stats.Writes++
+		st.Writes++
 	case req.Prefetch:
-		m.Stats.Prefetches++
+		st.Prefetches++
 	default:
-		m.Stats.Reads++
+		st.Reads++
 	}
 	start := req.At
-	if m.cfg.CyclesPerLine > 0 {
-		if m.nextSlot > start {
-			m.Stats.StallCycles += m.nextSlot - start
-			start = m.nextSlot
+	if m.spacing > 0 {
+		if next := m.nextSlot[req.Channel]; next > start {
+			st.StallCycles += next - start
+			start = next
 		}
-		m.nextSlot = start + m.cfg.CyclesPerLine
+		m.nextSlot[req.Channel] = start + m.spacing
 	}
 	return start + m.cfg.Latency
 }
 
 // Reset clears queue state and statistics.
 func (m *Memory) Reset() {
-	m.nextSlot = 0
-	m.epochFloor = 0
-	m.Stats = Stats{}
+	for i := range m.nextSlot {
+		m.nextSlot[i] = 0
+		m.stats[i] = Stats{}
+	}
+	m.epochFloor.Store(0)
 }

@@ -20,8 +20,8 @@ func TestBandwidthSpacing(t *testing.T) {
 	if a != 100 || b != 110 || c != 120 {
 		t.Fatalf("DoneAt = %d,%d,%d; want 100,110,120", a, b, c)
 	}
-	if m.Stats.StallCycles != 10+20 {
-		t.Fatalf("stall cycles = %d, want 30", m.Stats.StallCycles)
+	if m.Stats().StallCycles != 10+20 {
+		t.Fatalf("stall cycles = %d, want 30", m.Stats().StallCycles)
 	}
 }
 
@@ -48,8 +48,8 @@ func TestTrafficStats(t *testing.T) {
 	m.Access(Request{Line: 1, At: 0})
 	m.Access(Request{Line: 2, At: 0, Write: true})
 	m.Access(Request{Line: 3, At: 0, Prefetch: true})
-	if m.Stats.Reads != 1 || m.Stats.Writes != 1 || m.Stats.Prefetches != 1 {
-		t.Fatalf("stats = %+v", m.Stats)
+	if m.Stats().Reads != 1 || m.Stats().Writes != 1 || m.Stats().Prefetches != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
 	}
 }
 
@@ -57,7 +57,7 @@ func TestReset(t *testing.T) {
 	m := New(Config{Latency: 10, CyclesPerLine: 5})
 	m.Access(Request{Line: 1, At: 0})
 	m.Reset()
-	if m.Stats.Reads != 0 {
+	if m.Stats().Reads != 0 {
 		t.Fatal("Reset should clear stats")
 	}
 	if got := m.Access(Request{Line: 2, At: 0}); got != 10 {
@@ -95,4 +95,50 @@ func TestMonotoneCompletionProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestChannelsIndependentCursors(t *testing.T) {
+	// Two channels: aggregate spacing 10 means each channel spaces lines 20
+	// apart, so back-to-back requests on different channels never queue on
+	// each other while same-channel requests do.
+	m := NewChannels(Config{Latency: 50, CyclesPerLine: 10}, 2)
+	if got := m.Access(Request{Line: 1, At: 0, Channel: 0}); got != 50 {
+		t.Fatalf("first ch0 access done at %d, want 50", got)
+	}
+	if got := m.Access(Request{Line: 2, At: 0, Channel: 1}); got != 50 {
+		t.Fatalf("first ch1 access must not queue behind ch0: done at %d, want 50", got)
+	}
+	if got := m.Access(Request{Line: 3, At: 0, Channel: 0}); got != 70 {
+		t.Fatalf("second ch0 access should wait the per-channel spacing: done at %d, want 70", got)
+	}
+	if st := m.Stats(); st.StallCycles != 20 {
+		t.Fatalf("stall cycles = %d, want 20", st.StallCycles)
+	}
+}
+
+func TestChannelsAggregateStats(t *testing.T) {
+	m := NewChannels(Config{Latency: 10}, 4)
+	for ch := 0; ch < 4; ch++ {
+		m.Access(Request{Line: uint64(ch), At: 0, Channel: ch})
+		m.Access(Request{Line: uint64(ch), At: 0, Channel: ch, Write: true})
+	}
+	if st := m.Stats(); st.Reads != 4 || st.Writes != 4 {
+		t.Fatalf("aggregate stats = %+v, want 4 reads and 4 writes", st)
+	}
+	if st := m.ChannelStats(2); st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("channel 2 stats = %+v, want 1 read and 1 write", st)
+	}
+	m.Reset()
+	if st := m.Stats(); st != (Stats{}) {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+func TestChannelsPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewChannels(3) should panic")
+		}
+	}()
+	NewChannels(Config{Latency: 10}, 3)
 }

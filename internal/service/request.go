@@ -61,6 +61,12 @@ type SMPSpec struct {
 	// sequential lockstep (sim.TestParallelSMPEquivalence), so this knob
 	// trades wall time only and does not enter the cache key.
 	Parallel bool `json:"parallel,omitempty"`
+	// L3Slices address-hashes the shared L3 into this many slices, each an
+	// independent ordering domain with its own memory channel (0 or 1 =
+	// monolithic, a power of two otherwise). Unlike Parallel this is a
+	// model knob — the partition changes which lines conflict — so it
+	// enters the cache key through the canonical machine encoding.
+	L3Slices int `json:"l3_slices,omitempty"`
 }
 
 // maxSMPCores bounds a gang request: large enough for any socket the paper
@@ -184,6 +190,9 @@ func (s *Server) resolve(req *Request) (*plan, error) {
 		// Parallel stepping is byte-identical by contract, and
 		// CanonicalOptions excludes it, so it cannot split the key space.
 		opts.Parallel = req.SMP.Parallel
+		// The slice count is part of the machine: CanonicalMachine keys it
+		// (and validates the power-of-two/channel-shape constraints).
+		m.Hierarchy.L3Slices = req.SMP.L3Slices
 	}
 	if err := sim.ValidateOptions(opts); err != nil {
 		return nil, err

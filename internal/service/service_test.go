@@ -733,3 +733,49 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestSMPSlicedRequests: the l3_slices knob is a model dimension — it keys
+// separately — while spelling out the default (1) hits the unsliced entry,
+// and invalid shapes are client errors.
+func TestSMPSlicedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	body := func(extra string) string {
+		return fmt.Sprintf(`{"machine":"BDW","workload":{"profile":"mcf","uops":4000},"smp":{"cores":2%s}}`, extra)
+	}
+
+	r1 := post(t, ts, body(""))
+	readAll(t, r1)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("default gang: %d", r1.StatusCode)
+	}
+
+	// slices=1 is the same machine: same key, served from cache.
+	r2 := post(t, ts, body(`,"l3_slices":1`))
+	readAll(t, r2)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("slices=1 gang: %d", r2.StatusCode)
+	}
+	if r2.Header.Get("X-Result-Key") != r1.Header.Get("X-Result-Key") {
+		t.Fatal("l3_slices=1 split the cache key from the default")
+	}
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("l3_slices=1 twin X-Cache = %q, want hit", got)
+	}
+
+	// slices=4 measures a different uncore: distinct key, fresh result.
+	r3 := post(t, ts, body(`,"l3_slices":4`))
+	b3 := readAll(t, r3)
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("slices=4 gang: %d: %s", r3.StatusCode, b3)
+	}
+	if r3.Header.Get("X-Result-Key") == r1.Header.Get("X-Result-Key") {
+		t.Fatal("l3_slices=4 shares the monolithic key")
+	}
+
+	// A non-power-of-two shape is a client error.
+	r4 := post(t, ts, body(`,"l3_slices":3`))
+	b4 := readAll(t, r4)
+	if r4.StatusCode != http.StatusBadRequest || !strings.Contains(string(b4), "power of two") {
+		t.Fatalf("slices=3: %d: %s, want 400 mentioning power of two", r4.StatusCode, b4)
+	}
+}

@@ -136,6 +136,16 @@ func CanonicalMachine(m config.Machine) ([]byte, error) {
 	if err := m.Validate(); err != nil {
 		return nil, &FieldError{Field: "Machine", Reason: err.Error()}
 	}
+	// Normalize the uncore cardinality knobs to their omitted form: 0 and 1
+	// slices are the same monolithic L3, and a channel count equal to the
+	// slice count is the same device the empty field builds, so spelling the
+	// default out must not mint a second key for identical measurements.
+	if m.Hierarchy.L3Slices == 1 {
+		m.Hierarchy.L3Slices = 0
+	}
+	if m.Hierarchy.MemChannels == m.Hierarchy.SliceCount() {
+		m.Hierarchy.MemChannels = 0
+	}
 	return CanonicalBytes("config.Machine", m)
 }
 
@@ -190,6 +200,15 @@ func appendCanonical(buf []byte, path string, v reflect.Value) ([]byte, error) {
 			f := t.Field(i)
 			if !f.IsExported() {
 				return nil, badField(path+"."+f.Name, "unexported fields cannot be canonicalized")
+			}
+			// A `canon:"omitzero"` tag marks a field added after keys of the
+			// untagged shape were stored: the zero value (the semantics every
+			// stored key was measured under) is omitted, so adding the field
+			// changed no existing key, while any non-zero value encodes and
+			// keys a distinct configuration. Injectivity holds because the
+			// model treats the zero value and no-field identically.
+			if f.Tag.Get("canon") == "omitzero" && v.Field(i).IsZero() {
+				continue
 			}
 			buf = append(buf, f.Name...)
 			buf = append(buf, '=')

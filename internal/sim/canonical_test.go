@@ -194,3 +194,72 @@ func TestCanonicalBytesInjectivityCorners(t *testing.T) {
 		t.Fatal("map encoding depends on insertion order")
 	}
 }
+
+// TestCanonicalUncoreShapeKeys pins the cache-key contract of the sliced
+// uncore knobs: the default shape encodes exactly as it did before the
+// fields existed (no stored key changed when the knobs were added), spelled
+// out defaults normalize onto the omitted form, and any non-default shape
+// keys a distinct configuration.
+func TestCanonicalUncoreShapeKeys(t *testing.T) {
+	base, err := CanonicalMachine(config.BDW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(base, []byte("L3Slices")) || bytes.Contains(base, []byte("MemChannels")) {
+		t.Fatalf("default machine encodes the uncore shape fields, breaking every pre-slicing key:\n%q", base)
+	}
+
+	one := config.BDW()
+	one.Hierarchy.L3Slices = 1
+	one.Hierarchy.MemChannels = 1
+	ob, err := CanonicalMachine(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(base, ob) {
+		t.Fatalf("explicit slices=1/channels=1 must key like the default:\n%q\n%q", base, ob)
+	}
+
+	followed := config.BDW()
+	followed.Hierarchy.L3Slices = 4
+	fb, err := CanonicalMachine(followed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled := config.BDW()
+	spelled.Hierarchy.L3Slices = 4
+	spelled.Hierarchy.MemChannels = 4 // the channel count slices=4 implies
+	sb, err := CanonicalMachine(spelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fb, sb) {
+		t.Fatalf("channels equal to the slice count must key like the implied default:\n%q\n%q", fb, sb)
+	}
+	if bytes.Equal(base, fb) {
+		t.Fatal("slices=4 must key differently from the monolithic default")
+	}
+
+	wide := config.BDW()
+	wide.Hierarchy.L3Slices = 4
+	wide.Hierarchy.MemChannels = 8
+	wb, err := CanonicalMachine(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fb, wb) {
+		t.Fatal("channels=8 must key differently from the implied channels=4")
+	}
+
+	bad := config.BDW()
+	bad.Hierarchy.L3Slices = 3
+	if _, err := CanonicalMachine(bad); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("non-power-of-two slice count: got %v, want ErrBadValue", err)
+	}
+	bad = config.BDW()
+	bad.Hierarchy.L3Slices = 4
+	bad.Hierarchy.MemChannels = 2
+	if _, err := CanonicalMachine(bad); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("fewer channels than slices: got %v, want ErrBadValue", err)
+	}
+}

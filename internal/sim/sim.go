@@ -240,8 +240,9 @@ func RunSMP(m config.Machine, n int, makeTrace func(tid int) trace.Reader, opts 
 	}
 	m.Core.WrongPath = opts.WrongPath
 
-	// Shared uncore: one L3 (n slices) over one memory whose bandwidth is n
-	// per-core shares.
+	// Shared uncore: one L3 pool (n per-core shares, address-hashed into
+	// m.Hierarchy.L3Slices slices) over one memory whose bandwidth is n
+	// per-core shares spread across the slice-owned channels.
 	l3cfg := m.Hierarchy.L3
 	l3cfg.SizeBytes *= n
 	l3cfg.MSHRs *= n
@@ -252,13 +253,15 @@ func RunSMP(m config.Machine, n int, makeTrace func(tid int) trace.Reader, opts 
 			memCfg.CyclesPerLine = 1
 		}
 	}
-	sharedMem := mem.New(memCfg)
-	sharedL3 := cache.New(l3cfg, cache.MemLevel(sharedMem))
+	sharedMem := mem.NewChannels(memCfg, m.Hierarchy.ChannelCount())
+	sharedL3 := cache.NewSlicedL3(l3cfg, m.Hierarchy.SliceCount(), sharedMem)
 
 	// In parallel mode every core's hierarchy is built over its epoch-gate
-	// port instead of the bare shared L3: the gate drains shared accesses in
-	// ascending (cycle, core) order — exactly the sequential lockstep order —
-	// so the results stay byte-identical (TestParallelSMPEquivalence).
+	// port instead of the bare shared level: the gate drains shared accesses
+	// in ascending (cycle, core) order — exactly the sequential lockstep
+	// order — so the results stay byte-identical regardless of slice count
+	// (TestParallelSMPEquivalence); sequential runs route through the same
+	// SlicedLevel, so the partition itself is mode-invariant.
 	parallel := opts.Parallel && n > 1
 	var gate *cache.EpochGate
 	if parallel {

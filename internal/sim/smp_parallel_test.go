@@ -82,25 +82,31 @@ func runBothSMP(m config.Machine, n int, mk func(int) trace.Reader, opts Options
 }
 
 // TestParallelSMPEquivalence is the byte-identity contract of parallel SMP
-// stepping: across GOMAXPROCS settings (goroutine multiplexing degrees) and
-// all three wrong-path accounting schemes, the parallel run must reproduce
-// the sequential lockstep exactly — same stacks, same per-core statistics,
-// same shared-L3/memory interleaving consequences.
+// stepping: across L3 slice counts, GOMAXPROCS settings (goroutine
+// multiplexing degrees) and all three wrong-path accounting schemes, the
+// parallel run must reproduce the sequential lockstep exactly — same stacks,
+// same per-core statistics, same shared-L3/memory interleaving consequences.
+// Both harnesses route through the same SlicedLevel, so the slice dimension
+// checks the per-slice ordering domains, not the partition itself.
 func TestParallelSMPEquivalence(t *testing.T) {
 	m := config.SKX()
 	schemes := []core.WrongPathScheme{
 		core.WrongPathOracle, core.WrongPathSimple, core.WrongPathSpeculative,
 	}
-	for _, procs := range []int{1, 2, 8} {
-		for _, scheme := range schemes {
-			name := fmt.Sprintf("procs=%d/scheme=%s", procs, scheme)
-			t.Run(name, func(t *testing.T) {
-				prev := runtime.GOMAXPROCS(procs)
-				defer runtime.GOMAXPROCS(prev)
-				opts := Options{CPI: true, FLOPS: true, Scheme: scheme}
-				seq, par := runBothSMP(m, 3, convGang(m, 3000, 20000), opts)
-				requireSMPEqual(t, name, seq, par)
-			})
+	for _, slices := range []int{1, 2, 4} {
+		for _, procs := range []int{1, 2, 8} {
+			for _, scheme := range schemes {
+				name := fmt.Sprintf("slices=%d/procs=%d/scheme=%s", slices, procs, scheme)
+				t.Run(name, func(t *testing.T) {
+					prev := runtime.GOMAXPROCS(procs)
+					defer runtime.GOMAXPROCS(prev)
+					mm := m
+					mm.Hierarchy.L3Slices = slices
+					opts := Options{CPI: true, FLOPS: true, Scheme: scheme}
+					seq, par := runBothSMP(mm, 3, convGang(mm, 3000, 20000), opts)
+					requireSMPEqual(t, name, seq, par)
+				})
+			}
 		}
 	}
 }
@@ -116,10 +122,16 @@ func TestParallelSMPEquivalenceUnevenFinish(t *testing.T) {
 		k.SetExtraOverhead(tid)
 		return trace.NewLimit(k, uint64(8000+6000*tid))
 	}
-	seq, par := runBothSMP(m, 4, mk, Options{CPI: true})
-	requireSMPEqual(t, "uneven-finish", seq, par)
-	if seq.Stacks.Stack(core.StageIssue).Comp[core.CompUnsched] <= 0 {
-		t.Fatal("test workload should accumulate Unsched cycles")
+	for _, slices := range []int{1, 4} {
+		t.Run(fmt.Sprintf("slices=%d", slices), func(t *testing.T) {
+			mm := m
+			mm.Hierarchy.L3Slices = slices
+			seq, par := runBothSMP(mm, 4, mk, Options{CPI: true})
+			requireSMPEqual(t, "uneven-finish", seq, par)
+			if seq.Stacks.Stack(core.StageIssue).Comp[core.CompUnsched] <= 0 {
+				t.Fatal("test workload should accumulate Unsched cycles")
+			}
+		})
 	}
 }
 
@@ -138,16 +150,22 @@ func TestParallelSMPEquivalenceFault(t *testing.T) {
 		}
 		return trace.NewLimit(k, 20000)
 	}
-	seq, par := runBothSMP(m, 3, mk, Options{CPI: true})
-	requireSMPEqual(t, "fault", seq, par)
-	if seq.PerCoreErr[1] == nil || par.PerCoreErr[1] == nil {
-		t.Fatal("core 1's injected fault must surface in PerCoreErr on both harnesses")
-	}
-	if seq.PerCoreErr[0] != nil || seq.PerCoreErr[2] != nil {
-		t.Fatal("healthy cores must not report errors")
-	}
-	if seq.Err == nil || par.Err == nil {
-		t.Fatal("the gang error must be set")
+	for _, slices := range []int{1, 4} {
+		t.Run(fmt.Sprintf("slices=%d", slices), func(t *testing.T) {
+			mm := m
+			mm.Hierarchy.L3Slices = slices
+			seq, par := runBothSMP(mm, 3, mk, Options{CPI: true})
+			requireSMPEqual(t, "fault", seq, par)
+			if seq.PerCoreErr[1] == nil || par.PerCoreErr[1] == nil {
+				t.Fatal("core 1's injected fault must surface in PerCoreErr on both harnesses")
+			}
+			if seq.PerCoreErr[0] != nil || seq.PerCoreErr[2] != nil {
+				t.Fatal("healthy cores must not report errors")
+			}
+			if seq.Err == nil || par.Err == nil {
+				t.Fatal("the gang error must be set")
+			}
+		})
 	}
 }
 
