@@ -5,13 +5,25 @@
 // Usage:
 //
 //	simd -addr :8080 -cache /var/cache/simd -workers 8 [-traces DIR]
+//	simd -addr :8080 -self http://a:8080 -peers http://a:8080,http://b:8080
+//
+// With -peers, the node joins a consistent-hash ring over the result-cache
+// key space: each key has an owner peer, local misses try the owner (with
+// per-peer circuit breakers, bounded retries and a hedged read to the next
+// replica) before simulating, and locally simulated results are offered to
+// their owner. Every node must be started with the same -peers set. All
+// peer failures degrade down the ladder (peer → local cache → local
+// simulation); a fully partitioned node behaves exactly like a single-node
+// simd.
 //
 // Endpoints:
 //
-//	POST /v1/simulate   run (or fetch) a simulation; see internal/service
-//	GET  /healthz       liveness
-//	GET  /metrics       Prometheus text metrics
-//	GET  /debug/pprof/  runtime profiles
+//	POST /v1/simulate          run (or fetch) a simulation; see internal/service
+//	GET  /v1/peer/result/{key} cluster-internal: serve a cached entry to a peer
+//	PUT  /v1/peer/result/{key} cluster-internal: accept a verified fill
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text metrics
+//	GET  /debug/pprof/         runtime profiles
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
 // in-flight requests get -drain to finish, then running simulations are
@@ -27,9 +39,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"perfstacks/internal/cluster"
 	"perfstacks/internal/service"
 )
 
@@ -42,10 +56,17 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-simulation timeout (0 = unbounded)")
 	traces := flag.String("traces", "", "directory served for trace_path requests (empty = generator workloads only)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget before in-flight requests are dropped")
+	peers := flag.String("peers", "", "comma-separated base URLs of every ring member including this node (empty = single-node)")
+	self := flag.String("self", "", "this node's own base URL within -peers (required with -peers)")
+	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "per-attempt deadline for one peer exchange")
+	peerRetries := flag.Int("peer-retries", 1, "retries per peer fetch after the first attempt")
+	peerHedge := flag.Duration("peer-hedge", 50*time.Millisecond, "delay before a hedged read to the next replica (<0 disables)")
+	breakerFails := flag.Int("peer-breaker-failures", 3, "consecutive failures that open a peer's circuit breaker")
+	breakerWindow := flag.Duration("peer-breaker-window", 5*time.Second, "how long an open breaker fails fast before probing")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "simd: ", log.LstdFlags)
-	if err := run(*addr, service.Config{
+	cfg := service.Config{
 		CacheDir:      *cacheDir,
 		MemCacheBytes: *memCache,
 		Workers:       *workers,
@@ -53,7 +74,25 @@ func main() {
 		JobTimeout:    *timeout,
 		TraceDir:      *traces,
 		Log:           logger,
-	}, *drain, logger); err != nil {
+	}
+	if *peers != "" {
+		list := strings.Split(*peers, ",")
+		for i := range list {
+			list[i] = strings.TrimRight(strings.TrimSpace(list[i]), "/")
+		}
+		cfg.Cluster = &cluster.Config{
+			Peers:          list,
+			Self:           strings.TrimRight(strings.TrimSpace(*self), "/"),
+			AttemptTimeout: *peerTimeout,
+			Retries:        *peerRetries,
+			HedgeDelay:     *peerHedge,
+			Breaker: cluster.BreakerConfig{
+				FailureThreshold: *breakerFails,
+				OpenWindow:       *breakerWindow,
+			},
+		}
+	}
+	if err := run(*addr, cfg, *drain, logger); err != nil {
 		logger.Fatal(err)
 	}
 }

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes requests through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast: the peer recently exceeded the failure
+	// threshold and no requests are sent until the open window elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe request through; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String names the state for metrics and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// BreakerConfig tunes a circuit breaker. The zero value is replaced by the
+// defaults below.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the breaker
+	// open (default 3).
+	FailureThreshold int
+	// OpenWindow is how long the breaker fails fast before letting a probe
+	// through (default 5s).
+	OpenWindow time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.OpenWindow <= 0 {
+		c.OpenWindow = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker is a per-peer circuit breaker: closed → (threshold consecutive
+// failures) → open → (window elapses) → half-open → one probe → closed or
+// open again. It exists to convert a dead peer's cost from "every request
+// pays a dial timeout" into "one probe per open window": the degradation
+// ladder steps over an open breaker immediately.
+//
+// Concurrency: Allow and Record are safe from any goroutine. In half-open,
+// Allow admits exactly one probe — concurrent callers that lose the race
+// fail fast as if the breaker were open — and the probe's Record settles
+// the state for everyone.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for deterministic tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+	opens    uint64    // lifetime count of closed/half-open → open trips
+}
+
+// NewBreaker builds a breaker with the given config (zero fields take the
+// defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return newBreaker(cfg, time.Now)
+}
+
+// newBreaker is the test seam: the clock is injectable so transition tests
+// are deterministic.
+func newBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// Allow reports whether a request may be sent to the peer right now. A
+// true return from a half-open breaker claims the probe slot: the caller
+// MUST follow up with Record, or the breaker stays half-open with the slot
+// held forever.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.OpenWindow {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Record reports the outcome of a request Allow admitted. A success closes
+// the breaker and clears the failure count; a failure re-opens a half-open
+// breaker immediately and trips a closed one once the consecutive-failure
+// threshold is reached.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	if ok {
+		b.state = BreakerClosed
+		b.failures = 0
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: back to fail-fast for another window.
+		b.trip()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case BreakerOpen:
+		// A straggler from before the trip; the window restarts from the
+		// trip, not from stragglers, so nothing to do.
+	}
+}
+
+// trip moves to open and restarts the window. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.opens++
+}
+
+// State returns the breaker's current position without advancing it (an
+// open breaker past its window reports open until an Allow probes it).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped open.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is the breaker's injectable time source for deterministic
+// transition tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// step is one scripted breaker interaction.
+type step struct {
+	// op: "allow" asserts Allow() == want; "ok"/"fail" call Record;
+	// "advance" moves the clock by d; "state" asserts State() == wantState.
+	op        string
+	want      bool
+	d         time.Duration
+	wantState BreakerState
+}
+
+// TestBreakerTransitions drives the full state machine table: closed→open
+// at the threshold, fail-fast inside the window, half-open probe after it,
+// probe success closing, probe failure re-opening with a fresh window.
+func TestBreakerTransitions(t *testing.T) {
+	cfg := BreakerConfig{FailureThreshold: 3, OpenWindow: 10 * time.Second}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"stays closed below threshold", []step{
+			{op: "allow", want: true}, {op: "fail"},
+			{op: "allow", want: true}, {op: "fail"},
+			{op: "state", wantState: BreakerClosed},
+			{op: "allow", want: true},
+		}},
+		{"success resets the failure count", []step{
+			{op: "fail"}, {op: "fail"}, {op: "ok"},
+			{op: "fail"}, {op: "fail"},
+			{op: "state", wantState: BreakerClosed},
+		}},
+		{"opens at threshold and fails fast", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail"},
+			{op: "state", wantState: BreakerOpen},
+			{op: "allow", want: false},
+			{op: "advance", d: 9 * time.Second},
+			{op: "allow", want: false},
+		}},
+		{"half-open probe success closes", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail"},
+			{op: "advance", d: 10 * time.Second},
+			{op: "allow", want: true}, // the probe slot
+			{op: "state", wantState: BreakerHalfOpen},
+			{op: "allow", want: false}, // no second probe
+			{op: "ok"},
+			{op: "state", wantState: BreakerClosed},
+			{op: "allow", want: true},
+		}},
+		{"half-open probe failure re-opens with a fresh window", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail"},
+			{op: "advance", d: 10 * time.Second},
+			{op: "allow", want: true},
+			{op: "fail"},
+			{op: "state", wantState: BreakerOpen},
+			{op: "allow", want: false},
+			{op: "advance", d: 9 * time.Second},
+			{op: "allow", want: false}, // window restarted at re-open
+			{op: "advance", d: 1 * time.Second},
+			{op: "allow", want: true},
+		}},
+		{"straggler failures while open do not restart the window", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail"},
+			{op: "advance", d: 9 * time.Second},
+			{op: "fail"}, // a late Record from a pre-trip request
+			{op: "advance", d: 1 * time.Second},
+			{op: "allow", want: true},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := &fakeClock{t: time.Unix(0, 0)}
+			b := newBreaker(cfg, clk.now)
+			for i, st := range tc.steps {
+				switch st.op {
+				case "allow":
+					if got := b.Allow(); got != st.want {
+						t.Fatalf("step %d: Allow() = %v, want %v (state %v)", i, got, st.want, b.State())
+					}
+				case "ok":
+					b.Record(true)
+				case "fail":
+					b.Record(false)
+				case "advance":
+					clk.advance(st.d)
+				case "state":
+					if got := b.State(); got != st.wantState {
+						t.Fatalf("step %d: State() = %v, want %v", i, got, st.wantState)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerConcurrentProbes: when the window elapses, exactly one of
+// many racing callers wins the probe slot; the rest fail fast. Run with
+// -race in CI.
+func TestBreakerConcurrentProbes(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, OpenWindow: time.Second}, clk.now)
+	b.Record(false) // trip
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	clk.advance(2 * time.Second)
+
+	const callers = 32
+	var admitted atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("%d callers admitted as probes, want exactly 1", got)
+	}
+	// The probe settles the state for everyone.
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatal("probe success did not close the breaker")
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("Opens() = %d, want 1", got)
+	}
+}
+
+// TestBreakerFlappingCapsErrorLatency is the flap chaos test: a peer that
+// dies and revives repeatedly. While the breaker is open, the error path
+// must cost an Allow() check only — no waiting — so the total time spent
+// on a flapping peer is bounded by (probes × attempt cost), not
+// (requests × attempt cost).
+func TestBreakerFlappingCapsErrorLatency(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	cfg := BreakerConfig{FailureThreshold: 2, OpenWindow: 5 * time.Second}
+	b := newBreaker(cfg, clk.now)
+
+	const attemptCost = 100 * time.Millisecond // what a real failed dial costs
+	var wastedWait time.Duration
+	downAttempts, upAttempts, fastFails := 0, 0, 0
+
+	// 40 flap cycles: the peer is down for 7.5s of fake time (requests
+	// every 250ms), then up for 7.5s, then down again.
+	down := true
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 30; j++ {
+			clk.advance(250 * time.Millisecond)
+			if !b.Allow() {
+				fastFails++ // fail-fast: no network wait at all
+				continue
+			}
+			if down {
+				downAttempts++
+				wastedWait += attemptCost // this attempt eats a full timeout
+			} else {
+				upAttempts++
+			}
+			b.Record(!down)
+		}
+		down = !down
+	}
+
+	if got := downAttempts + upAttempts + fastFails; got != 1200 {
+		t.Fatalf("accounting bug: %d outcomes", got)
+	}
+	// Each 7.5s down window admits the threshold (2) while closing plus
+	// ~one probe per 5s open window — call it 5 with margin. 20 down
+	// cycles × 5 = 100; without the breaker it would be 600.
+	if downAttempts > 100 {
+		t.Fatalf("%d real attempts against a down peer, want breaker to cap at ~100 (600 unprotected)", downAttempts)
+	}
+	// The latency bound the breaker buys: error-path waiting is capped by
+	// the admitted down-window attempts, not by request volume.
+	if limit := 100 * attemptCost; wastedWait > limit {
+		t.Fatalf("waited %v on the dead peer, cap %v", wastedWait, limit)
+	}
+	if b.Opens() == 0 {
+		t.Fatal("breaker never opened during the flap")
+	}
+	// The healthy half of the flap must still be served: the breaker
+	// recovers via probes instead of latching open. Recovery lags each
+	// revival by up to one open window (5s ≈ 20 requests), so of each up
+	// cycle's 30 requests at least ~10 land; demand a third overall.
+	if upAttempts < 200 {
+		t.Fatalf("only %d of ~600 healthy-window requests were admitted", upAttempts)
+	}
+}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"perfstacks/internal/resultcache"
+)
+
+// Config assembles a Cluster. Peers is the full static ring membership
+// (including this node); Self identifies this node within it ("" makes
+// this a non-member edge node that reads the ring but owns no keys).
+type Config struct {
+	// Peers are the ring members' base URLs (scheme://host:port, no
+	// trailing slash). Every node in the fleet must be started with the
+	// same set; order is irrelevant.
+	Peers []string
+	// Self is this node's own base URL, matched literally against Peers.
+	Self string
+	// AttemptTimeout bounds each peer exchange (default 2s).
+	AttemptTimeout time.Duration
+	// Retries re-attempts transient Get failures (default 1 → 2 attempts).
+	Retries int
+	// Backoff is the base retry delay, exponential with equal jitter
+	// (default 25ms).
+	Backoff time.Duration
+	// HedgeDelay is how long the owner read may run before a hedged read
+	// fires at the next ring replica (default 50ms; negative disables).
+	HedgeDelay time.Duration
+	// Breaker tunes the per-peer circuit breakers.
+	Breaker BreakerConfig
+	// Transport overrides the HTTP transport (fault-injection tests).
+	Transport http.RoundTripper
+	// Seed feeds the jittered-backoff PRNG (deterministic under test).
+	Seed uint64
+}
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 2 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 25 * time.Millisecond
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 50 * time.Millisecond
+	}
+	c.Breaker = c.Breaker.withDefaults()
+	return c
+}
+
+// Outcome classifies one Fetch down the degradation ladder.
+type Outcome int
+
+const (
+	// FetchHit: a replica served a verified payload.
+	FetchHit Outcome = iota
+	// FetchMiss: a replica definitively answered "not here" — degrade to
+	// local cold simulation; the cluster is healthy, the entry is cold.
+	FetchMiss
+	// FetchDegraded: no replica gave a definitive answer (dead, slow,
+	// corrupt, breaker open) — degrade to local cold simulation; the
+	// request survives, only its locality is lost.
+	FetchDegraded
+)
+
+// Stats counts cluster-level fetch outcomes. All fields are atomics.
+type Stats struct {
+	// Hits counts fetches served by some replica.
+	Hits atomic.Uint64
+	// Misses counts definitive cluster-wide misses.
+	Misses atomic.Uint64
+	// Degrades counts fetches that fell to cold simulation on failure.
+	Degrades atomic.Uint64
+	// Hedges counts hedged second reads launched.
+	Hedges atomic.Uint64
+	// HedgeWins counts hedged reads that returned the winning payload.
+	HedgeWins atomic.Uint64
+	// Offers counts fills pushed to owners after a local simulation.
+	Offers atomic.Uint64
+	// OfferErrors counts failed fills (best-effort; never fails a request).
+	OfferErrors atomic.Uint64
+}
+
+// Cluster is the ring of peers this node fetches from and fills. It is the
+// read/write side of the cluster story; the serve side is the service's
+// /v1/peer/result endpoint.
+type Cluster struct {
+	ring       *Ring
+	self       string
+	peers      map[string]*PeerStore // every member except self
+	order      []string              // peers map keys in ring order (metrics)
+	hedgeDelay time.Duration
+
+	// Stats counts fetch outcomes across all peers.
+	Stats Stats
+}
+
+// New validates the membership and builds the cluster. At least one peer
+// other than Self is required — a one-node "cluster" is just a node.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		ring:       ring,
+		self:       cfg.Self,
+		peers:      make(map[string]*PeerStore),
+		hedgeDelay: cfg.HedgeDelay,
+	}
+	selfSeen := cfg.Self == ""
+	for _, addr := range ring.Peers() {
+		if addr == cfg.Self {
+			selfSeen = true
+			continue
+		}
+		c.peers[addr] = NewPeerStore(addr, cfg)
+		c.order = append(c.order, addr)
+	}
+	if !selfSeen {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list", cfg.Self)
+	}
+	if len(c.peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers besides self")
+	}
+	return c, nil
+}
+
+// Ring exposes the placement ring (tests and diagnostics).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// PeerStores returns the remote stores in canonical ring order (metrics
+// iterate it for stable exposition).
+func (c *Cluster) PeerStores() []*PeerStore {
+	out := make([]*PeerStore, len(c.order))
+	for i, addr := range c.order {
+		out[i] = c.peers[addr]
+	}
+	return out
+}
+
+// OwnsSelf reports whether this node is k's ring owner (the authority that
+// simulates and serves it for the cluster).
+func (c *Cluster) OwnsSelf(k resultcache.Key) bool {
+	return c.ring.Owner(k) == c.self
+}
+
+// fetchRes carries one replica attempt's outcome.
+type fetchRes struct {
+	payload []byte
+	err     error
+	hedged  bool
+}
+
+// Fetch walks the peer rung of the degradation ladder for k: a read from
+// the owner replica with retries and per-attempt deadlines, failing over
+// to the next ring replica if the owner cannot answer, plus an optional
+// hedged read to that replica when the owner is merely slow. The first
+// verified payload wins and cancels the loser.
+//
+// Fetch never simulates and never blocks beyond its attempts' deadlines:
+// whatever happens, the caller gets an answer and the ladder continues —
+// FetchMiss and FetchDegraded both mean "simulate locally", they differ
+// only in what the metrics say happened.
+func (c *Cluster) Fetch(ctx context.Context, k resultcache.Key) ([]byte, Outcome) {
+	// Owner first, then the next distinct replicas; self cannot serve this
+	// fetch (the caller already missed locally).
+	var candidates []*PeerStore
+	for _, addr := range c.ring.Replicas(k, len(c.ring.Peers())) {
+		if addr != c.self {
+			if p := c.peers[addr]; p != nil {
+				candidates = append(candidates, p)
+			}
+		}
+		if len(candidates) == 2 {
+			break
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, FetchMiss
+	}
+
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan fetchRes, len(candidates))
+	launch := func(p *PeerStore, hedged bool) {
+		go func() {
+			payload, err := p.get(fctx, k)
+			results <- fetchRes{payload: payload, err: err, hedged: hedged}
+		}()
+	}
+
+	launch(candidates[0], false)
+	outstanding := 1
+	hedge := (*PeerStore)(nil)
+	if len(candidates) > 1 {
+		hedge = candidates[1]
+	}
+	var hedgeC <-chan time.Time
+	if hedge != nil && c.hedgeDelay > 0 {
+		t := time.NewTimer(c.hedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	sawMiss := false
+	for outstanding > 0 {
+		select {
+		case r := <-results:
+			outstanding--
+			switch {
+			case r.err == nil:
+				c.Stats.Hits.Add(1)
+				if r.hedged {
+					c.Stats.HedgeWins.Add(1)
+				}
+				return r.payload, FetchHit
+			case isMiss(r.err):
+				sawMiss = true
+			default:
+				// The owner failed outright: fail over to the next replica
+				// immediately rather than waiting out the hedge timer.
+				if hedge != nil {
+					launch(hedge, false)
+					outstanding++
+					hedge = nil
+					hedgeC = nil
+				}
+			}
+		case <-hedgeC:
+			c.Stats.Hedges.Add(1)
+			launch(hedge, true)
+			outstanding++
+			hedge = nil
+			hedgeC = nil
+		case <-ctx.Done():
+			c.Stats.Degrades.Add(1)
+			return nil, FetchDegraded
+		}
+	}
+	if sawMiss {
+		c.Stats.Misses.Add(1)
+		return nil, FetchMiss
+	}
+	c.Stats.Degrades.Add(1)
+	return nil, FetchDegraded
+}
+
+// isMiss reports a definitive peer miss.
+func isMiss(err error) bool { return errors.Is(err, errPeerMiss) }
+
+// Offer pushes a locally simulated result to k's ring owner so the
+// cluster's authority converges on having it (the next reader anywhere
+// fetches it from the owner instead of re-simulating). Best-effort: a
+// failed offer is counted and dropped, never propagated — the local cache
+// already holds the result.
+func (c *Cluster) Offer(ctx context.Context, k resultcache.Key, payload []byte) {
+	owner := c.ring.Owner(k)
+	if owner == c.self {
+		return
+	}
+	p := c.peers[owner]
+	if p == nil {
+		return
+	}
+	if err := p.put(ctx, k, payload); err != nil {
+		c.Stats.OfferErrors.Add(1)
+		return
+	}
+	c.Stats.Offers.Add(1)
+}

@@ -1,0 +1,130 @@
+// Package cluster shards the content-addressed result cache across a
+// static set of simd peers and engineers the failure domain around the
+// network: a consistent-hash ring over the existing SHA-256 key space
+// decides which peer owns which result, per-peer circuit breakers stop a
+// dead or sick peer from taxing every request, reads retry with jittered
+// backoff and optionally hedge to the next ring replica, and every byte
+// fetched from a peer re-verifies through the result cache's
+// corrupted-entry path before it is served or stored.
+//
+// The failure contract is a strict degradation ladder: peer hit → local
+// memory/disk → local cold simulation. A slow peer costs a request bounded
+// latency (per-attempt deadlines, the hedge), a dead peer costs nothing
+// after its breaker opens, and a fully partitioned peer set leaves a node
+// exactly as capable as a single-node simd — same keys, same bytes, same
+// shedding behavior.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"perfstacks/internal/resultcache"
+)
+
+// vnodesPerPeer is how many ring positions each peer occupies. 64 virtual
+// nodes keep the per-peer key share within a few percent of uniform for
+// small static rings without making ring construction or lookup costly.
+const vnodesPerPeer = 64
+
+// vnode is one ring position.
+type vnode struct {
+	pos  uint64 // position on the ring (first 8 bytes of a SHA-256)
+	peer int    // index into Ring.peers
+}
+
+// Ring is a consistent-hash ring over the result-cache key space. Keys are
+// already SHA-256 content addresses, so placement is free: a key's ring
+// position is its own leading 8 bytes, and the owner is the first virtual
+// node at or clockwise of that position.
+//
+// The ring is immutable after construction; membership is static per
+// process (the -peers flag). Consistency across the fleet requires only
+// that every node is started with the same peer list — the list is sorted
+// before hashing, so flag order does not matter.
+type Ring struct {
+	peers  []string
+	vnodes []vnode // sorted by pos
+}
+
+// NewRing builds a ring over the given peer addresses. Addresses must be
+// non-empty and distinct; order is irrelevant.
+func NewRing(peers []string) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	for i, p := range sorted {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer address")
+		}
+		if i > 0 && sorted[i-1] == p {
+			return nil, fmt.Errorf("cluster: duplicate peer address %q", p)
+		}
+	}
+	r := &Ring{peers: sorted, vnodes: make([]vnode, 0, len(sorted)*vnodesPerPeer)}
+	for pi, p := range sorted {
+		for v := 0; v < vnodesPerPeer; v++ {
+			sum := sha256.Sum256([]byte(p + "#" + strconv.Itoa(v)))
+			r.vnodes = append(r.vnodes, vnode{pos: binary.BigEndian.Uint64(sum[:8]), peer: pi})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		// Position collisions (astronomically unlikely) break ties by peer
+		// index so construction stays deterministic.
+		return a.peer < b.peer
+	})
+	return r, nil
+}
+
+// Peers returns the ring members in canonical (sorted) order. The returned
+// slice is shared; callers must not modify it.
+func (r *Ring) Peers() []string { return r.peers }
+
+// keyPos places a cache key on the ring.
+func keyPos(k resultcache.Key) uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
+// successor returns the index into vnodes of the first virtual node at or
+// after pos, wrapping at the top of the ring.
+func (r *Ring) successor(pos uint64) int {
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].pos >= pos })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the peer that owns k: the authority that fills and serves
+// this key for the cluster.
+func (r *Ring) Owner(k resultcache.Key) string {
+	return r.peers[r.vnodes[r.successor(keyPos(k))].peer]
+}
+
+// Replicas returns up to n distinct peers for k in ring order: the owner
+// first, then the successors a reader hedges or fails over to. n is capped
+// at the peer count.
+func (r *Ring) Replicas(k resultcache.Key, n int) []string {
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := r.successor(keyPos(k)); len(out) < n; i = (i + 1) % len(r.vnodes) {
+		if pi := r.vnodes[i].peer; !seen[pi] {
+			seen[pi] = true
+			out = append(out, r.peers[pi])
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"perfstacks/internal/resultcache"
+)
+
+func ringKey(i int) resultcache.Key {
+	return resultcache.KeyOf([]byte(fmt.Sprintf("key-%d", i)))
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}); err == nil {
+		t.Fatal("empty address accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+}
+
+// TestRingOrderIndependent: ownership must agree across the fleet no
+// matter how each node's -peers flag orders the list.
+func TestRingOrderIndependent(t *testing.T) {
+	a, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://c:1", "http://a:1", "http://b:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		k := ringKey(i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d: owner differs across flag orders: %q vs %q", i, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingDistribution: with 64 vnodes per peer, no peer's share of a
+// large uniform key population strays wildly from 1/n.
+func TestRingDistribution(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r, err := NewRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		counts[r.Owner(ringKey(i))]++
+	}
+	want := n / len(peers)
+	for _, p := range peers {
+		got := counts[p]
+		if got < want/2 || got > want*2 {
+			t.Errorf("peer %s owns %d of %d keys, want within [%d, %d]", p, got, n, want/2, want*2)
+		}
+	}
+}
+
+// TestRingConsistency: removing one peer remaps only keys that peer owned
+// — the consistent-hashing property that makes a static ring safely
+// re-deployable with one member swapped out.
+func TestRingConsistency(t *testing.T) {
+	full, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := ringKey(i)
+		was, is := full.Owner(k), smaller.Owner(k)
+		if was == "http://d:1" {
+			continue // d's keys must move somewhere
+		}
+		if was != is {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed peer changed owner", moved)
+	}
+}
+
+// TestRingReplicas: the replica list starts at the owner, holds distinct
+// peers, and caps at the membership size.
+func TestRingReplicas(t *testing.T) {
+	r, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		k := ringKey(i)
+		reps := r.Replicas(k, 5)
+		if len(reps) != 3 {
+			t.Fatalf("key %d: %d replicas, want all 3", i, len(reps))
+		}
+		if reps[0] != r.Owner(k) {
+			t.Fatalf("key %d: first replica %q is not the owner %q", i, reps[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, p := range reps {
+			if seen[p] {
+				t.Fatalf("key %d: duplicate replica %q", i, p)
+			}
+			seen[p] = true
+		}
+	}
+	if got := r.Replicas(ringKey(0), 0); got != nil {
+		t.Fatalf("Replicas(k, 0) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,199 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// netFixture is a live backend serving a fixed body through a fault
+// transport, with a counter proving whether the wire was touched.
+type netFixture struct {
+	ts     *httptest.Server
+	faults *NetFaults
+	client *http.Client
+	served atomic.Int64
+	body   []byte
+}
+
+func newNetFixture(t *testing.T) *netFixture {
+	t.Helper()
+	f := &netFixture{
+		faults: NewNetFaults(99),
+		body:   bytes.Repeat([]byte("payload!"), 64),
+	}
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.served.Add(1)
+		w.Write(f.body)
+	}))
+	t.Cleanup(f.ts.Close)
+	f.client = &http.Client{Transport: &Transport{Faults: f.faults}}
+	return f
+}
+
+func (f *netFixture) host() string { return strings.TrimPrefix(f.ts.URL, "http://") }
+
+func (f *netFixture) get(t *testing.T, ctx context.Context) ([]byte, error) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func TestNetNonePassesThrough(t *testing.T) {
+	f := newNetFixture(t)
+	got, err := f.get(t, context.Background())
+	if err != nil || !bytes.Equal(got, f.body) {
+		t.Fatalf("clean exchange corrupted: err=%v, %d bytes", err, len(got))
+	}
+	// An unrelated host's fault must not leak onto this one.
+	f.faults.Set("other.invalid:1", NetRefuse)
+	if _, err := f.get(t, context.Background()); err != nil {
+		t.Fatalf("fault for another host applied here: %v", err)
+	}
+}
+
+func TestNetRefuseFailsBeforeTheWire(t *testing.T) {
+	f := newNetFixture(t)
+	f.faults.Set(f.host(), NetRefuse)
+	_, err := f.get(t, context.Background())
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if f.served.Load() != 0 {
+		t.Fatal("refused dial still reached the backend")
+	}
+}
+
+func TestNetLatencyDelaysAndHonorsContext(t *testing.T) {
+	f := newNetFixture(t)
+	f.faults.Set(f.host(), NetLatency)
+	f.faults.SetLatency(80 * time.Millisecond)
+
+	start := time.Now()
+	got, err := f.get(t, context.Background())
+	if err != nil || !bytes.Equal(got, f.body) {
+		t.Fatalf("latency mode corrupted the exchange: %v", err)
+	}
+	if wall := time.Since(start); wall < 80*time.Millisecond {
+		t.Fatalf("exchange finished in %v, before the injected 80ms", wall)
+	}
+
+	// A context deadline shorter than the delay must cut the wait short.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	if _, err := f.get(t, ctx); !errors.Is(err, ErrInjected) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled latency wait returned %v", err)
+	}
+	if wall := time.Since(start); wall > 60*time.Millisecond {
+		t.Fatalf("canceled wait still took %v", wall)
+	}
+}
+
+func TestNetTruncateCutsTheBody(t *testing.T) {
+	f := newNetFixture(t)
+	f.faults.Set(f.host(), NetTruncate)
+	got, err := f.get(t, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(f.body) {
+		t.Fatalf("truncated body is %d bytes, original %d", len(got), len(f.body))
+	}
+	if !bytes.Equal(got, f.body[:len(got)]) {
+		t.Fatal("truncation rewrote bytes instead of cutting")
+	}
+}
+
+func TestNetBitFlipChangesExactlyOneBit(t *testing.T) {
+	f := newNetFixture(t)
+	f.faults.Set(f.host(), NetBitFlip)
+	got, err := f.get(t, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(f.body) {
+		t.Fatalf("bit flip changed the length: %d vs %d", len(got), len(f.body))
+	}
+	flipped := 0
+	for i := range got {
+		x := got[i] ^ f.body[i]
+		for ; x != 0; x &= x - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", flipped)
+	}
+}
+
+func TestNetStallBlocksReadsUntilCancel(t *testing.T) {
+	f := newNetFixture(t)
+	f.faults.Set(f.host(), NetStall)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.get(t, ctx)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stalled read succeeded after cancel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled read never unblocked after cancel")
+	}
+}
+
+// TestNetFaultsMutableMidFlight: the table is live — flipping a host's
+// mode between requests models a flapping peer without rebuilding clients.
+func TestNetFaultsMutableMidFlight(t *testing.T) {
+	f := newNetFixture(t)
+	if _, err := f.get(t, context.Background()); err != nil {
+		t.Fatalf("healthy phase failed: %v", err)
+	}
+	f.faults.Set(f.host(), NetRefuse)
+	if _, err := f.get(t, context.Background()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("down phase did not refuse: %v", err)
+	}
+	f.faults.Set(f.host(), NetNone)
+	got, err := f.get(t, context.Background())
+	if err != nil || !bytes.Equal(got, f.body) {
+		t.Fatalf("recovered phase failed: %v", err)
+	}
+}
+
+func TestNetModeString(t *testing.T) {
+	for m, want := range map[NetMode]string{
+		NetNone: "none", NetRefuse: "refuse", NetLatency: "latency",
+		NetTruncate: "truncate", NetBitFlip: "bitflip", NetStall: "stall",
+		NetMode(99): "invalid",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("NetMode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}

@@ -27,10 +27,12 @@ var ErrEntryCorrupt = errors.New("resultcache: corrupt cache entry")
 //	8      32    SHA-256 of payload
 //	40     n     payload
 //
-// Writes go through a temp file in the same directory plus rename, so a
-// crash mid-write leaves no half-entry under a valid name; reads verify the
-// stored digest over the payload, so silent corruption becomes a miss, not
-// a served result.
+// Writes go through a temp file in the same directory plus rename, with the
+// temp file fsynced before the rename and the directory fsynced after it,
+// so a crash or power loss mid-write leaves no half-entry under a valid
+// name and cannot publish a name whose bytes never reached the platter;
+// reads verify the stored digest over the payload, so silent corruption
+// becomes a miss, not a served result.
 type Disk struct {
 	dir string
 }
@@ -89,6 +91,14 @@ func (d *Disk) Put(k Key, payload []byte) error {
 			_, err = tmp.Write(payload)
 		}
 	}
+	// Flush the entry to stable storage before it becomes reachable: a
+	// rename is only atomic for names, not for data, and a power loss after
+	// the rename but before writeback would otherwise publish a torn entry
+	// under a valid name. (Verification would catch it as corrupt, but the
+	// contract is stronger: a completed Put survives a crash.)
+	if err == nil {
+		err = tmp.Sync()
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
@@ -98,7 +108,25 @@ func (d *Disk) Put(k Key, payload []byte) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("resultcache: storing %s: %w", k, err)
 	}
+	// Persist the rename itself: the new directory entry must survive a
+	// crash, or the fsynced bytes are an orphan under a temp name.
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("resultcache: storing %s: %w", k, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry name is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Len counts the entries currently in the store (a test/diagnostic walk,

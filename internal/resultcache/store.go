@@ -1,0 +1,48 @@
+package resultcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+)
+
+// Store is the contract every result-cache tier satisfies: a content-
+// addressed Get/Put over opaque payload bytes. The two-tier *Cache, the
+// individual Memory and Disk tiers (via thin adapters), and the cluster
+// layer's remote-peer store all speak this interface, which is what lets
+// the service treat "fetched from a peer over HTTP" and "read from the
+// local disk" as the same operation with the same verification story.
+//
+// Get's second result reports a verified hit; implementations must never
+// return (payload, true) for bytes that failed their integrity checks.
+// Put is best-effort durable: an implementation may return an error (full
+// disk, dead peer) and the caller degrades to recomputation, never to
+// serving a partial entry.
+type Store interface {
+	Get(k Key) ([]byte, bool)
+	Put(k Key, payload []byte) error
+}
+
+// Cache implements Store.
+var _ Store = (*Cache)(nil)
+
+// EncodeEntry frames payload in the cache's verified-entry wire format —
+// magic, SHA-256 of the payload, then the payload — the exact byte layout
+// the disk tier writes. The cluster layer ships this frame between peers so
+// the receiver runs the same DecodeEntry verification a local disk read
+// does: a truncated or bit-flipped transfer fails the digest check and is
+// treated as a miss, never served or stored.
+func EncodeEntry(payload []byte) []byte {
+	out := make([]byte, 0, len(entryMagic)+sha256.Size+len(payload))
+	sum := sha256.Sum256(payload)
+	out = append(out, entryMagic[:]...)
+	out = append(out, sum[:]...)
+	out = append(out, payload...)
+	return out
+}
+
+// DecodeEntry verifies one wire-framed entry and returns its payload. It is
+// the corrupted-entry-eviction path shared with the disk tier: any framing
+// or digest failure returns an error wrapping ErrEntryCorrupt.
+func DecodeEntry(frame []byte) ([]byte, error) {
+	return readEntry(bytes.NewReader(frame))
+}

@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffScheduleBounds: every jittered wait stays inside the equal-
+// jitter envelope [step/2, step] for its attempt's exponential step.
+func TestBackoffScheduleBounds(t *testing.T) {
+	base := 25 * time.Millisecond
+	for seed := uint64(0); seed < 8; seed++ {
+		for job := 0; job < 50; job++ {
+			for attempt := 0; attempt < 6; attempt++ {
+				step := base << attempt
+				d := backoffDelay(base, seed, job, attempt)
+				if d < step/2 || d > step {
+					t.Fatalf("seed %d job %d attempt %d: delay %v outside [%v, %v]",
+						seed, job, attempt, d, step/2, step)
+				}
+			}
+		}
+	}
+}
+
+// TestBackoffDeterministic: the schedule is a pure function of
+// (seed, job, attempt) — same triple, same wait, run after run — while a
+// different seed or job lands elsewhere in the envelope.
+func TestBackoffDeterministic(t *testing.T) {
+	base := 100 * time.Millisecond
+	for job := 0; job < 20; job++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			a := backoffDelay(base, 7, job, attempt)
+			b := backoffDelay(base, 7, job, attempt)
+			if a != b {
+				t.Fatalf("job %d attempt %d: %v then %v from the same triple", job, attempt, a, b)
+			}
+		}
+	}
+	// Jitter must actually spread jobs out: across many jobs the first
+	// retry cannot collapse onto one instant (the thundering-herd shape
+	// this exists to prevent).
+	distinct := map[time.Duration]bool{}
+	for job := 0; job < 100; job++ {
+		distinct[backoffDelay(base, 7, job, 0)] = true
+	}
+	if len(distinct) < 50 {
+		t.Fatalf("100 jobs produced only %d distinct first-retry delays", len(distinct))
+	}
+}
+
+// TestBackoffShiftCapped: a huge attempt index saturates at the shift cap
+// instead of overflowing into negative or zero waits.
+func TestBackoffShiftCapped(t *testing.T) {
+	base := time.Millisecond
+	capped := base << maxBackoffShift
+	for _, attempt := range []int{maxBackoffShift, maxBackoffShift + 1, 62, 1 << 20} {
+		d := backoffDelay(base, 1, 0, attempt)
+		if d < capped/2 || d > capped {
+			t.Fatalf("attempt %d: delay %v escaped the capped envelope [%v, %v]",
+				attempt, d, capped/2, capped)
+		}
+	}
+	if backoffDelay(0, 1, 0, 0) != 0 {
+		t.Fatal("zero base must mean no wait")
+	}
+}
+
+// TestRetryWaitsRespectJitterEnvelope: an end-to-end run's measured retry
+// spacing honors the configured backoff (at least the deterministic half
+// of each step, minus scheduler slack).
+func TestRetryWaitsRespectJitterEnvelope(t *testing.T) {
+	base := 40 * time.Millisecond
+	var stamps []time.Time
+	RunOpts(context.Background(), Options{Workers: 1, Retries: 2, Backoff: base, BackoffSeed: 3}, 1,
+		func(ctx context.Context, i int) error {
+			stamps = append(stamps, time.Now())
+			return Retryable(errors.New("transient"))
+		})
+	if len(stamps) != 3 {
+		t.Fatalf("ran %d attempts, want 3", len(stamps))
+	}
+	for a := 0; a < 2; a++ {
+		gap := stamps[a+1].Sub(stamps[a])
+		step := base << a
+		// Lower bound only: the upper end is scheduler-dependent under
+		// load, but a gap under step/2 means the jitter floor was violated.
+		if gap < step/2 {
+			t.Fatalf("retry %d fired after %v, before the %v jitter floor", a+1, gap, step/2)
+		}
+	}
+}

@@ -113,8 +113,17 @@ type Options struct {
 	// Retryable errors.
 	Retries int
 	// Backoff is the delay before the first retry, doubling per further
-	// attempt. Waits end early when the run context is canceled.
+	// attempt. The actual wait is equal-jittered: half the exponential
+	// step is fixed and half is drawn from a seeded deterministic PRNG,
+	// so a sweep's worth of jobs retrying against the same recovering
+	// dependency spread out instead of thundering in lockstep. Waits end
+	// early when the run context is canceled.
 	Backoff time.Duration
+	// BackoffSeed seeds the retry jitter. The schedule is a pure function
+	// of (seed, job index, attempt), so a fixed seed reproduces the exact
+	// same waits run after run; the zero seed is itself a valid fixed
+	// seed, not "random".
+	BackoffSeed uint64
 }
 
 // Run executes job(ctx, 0)..job(ctx, n-1) across a supervised pool of at
@@ -215,7 +224,7 @@ func runAttempts(ctx context.Context, opts Options, i int, job func(ctx context.
 			return err, a + 1
 		}
 		if opts.Backoff > 0 {
-			t := time.NewTimer(opts.Backoff << a)
+			t := time.NewTimer(backoffDelay(opts.Backoff, opts.BackoffSeed, i, a))
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -225,6 +234,36 @@ func runAttempts(ctx context.Context, opts Options, i int, job func(ctx context.
 		}
 	}
 	return err, maxAttempts
+}
+
+// maxBackoffShift caps the exponential doubling so a generous retry
+// budget cannot shift the base into overflow (or into waits measured in
+// days).
+const maxBackoffShift = 16
+
+// backoffDelay is the wait before re-attempt `attempt` (0-based) of job
+// `job`: equal jitter over the exponential step, i.e. uniformly in
+// [step/2, step] where step = base << attempt. The jitter source is a
+// stateless hash of (seed, job, attempt) — no shared PRNG state, fully
+// deterministic for a fixed seed, yet distinct jobs land on distinct
+// offsets within the step.
+func backoffDelay(base time.Duration, seed uint64, job, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	step := base << min(attempt, maxBackoffShift)
+	half := step / 2
+	draw := splitmix64(seed ^ uint64(job)*0x9e3779b97f4a7c15 ^ uint64(attempt)*0xbf58476d1ce4e5b9)
+	return half + time.Duration(draw%uint64(half+1))
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed stateless
+// hash used as the jitter source.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // runOneAttempt runs a single attempt with panic recovery and the optional

@@ -1,0 +1,542 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perfstacks/internal/cluster"
+	"perfstacks/internal/config"
+	"perfstacks/internal/faultinject"
+	"perfstacks/internal/resultcache"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/trace"
+)
+
+// chaosNode is one ring member of the in-process cluster harness: a full
+// Server behind a real listener, with its simulations counted.
+type chaosNode struct {
+	srv  *Server
+	ts   *httptest.Server
+	url  string
+	sims atomic.Int32
+}
+
+func (n *chaosNode) host() string { return strings.TrimPrefix(n.url, "http://") }
+
+// newChaosRing stands up an n-node simd ring in one process. All listeners
+// bind before any Server is built so every node starts with the complete
+// membership, exactly like a fleet rollout with a fixed -peers flag. All
+// peer traffic flows through the shared fault table.
+func newChaosRing(t *testing.T, n int, faults *faultinject.NetFaults) []*chaosNode {
+	t.Helper()
+	nodes := make([]*chaosNode, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		ts := httptest.NewUnstartedServer(nil)
+		nodes[i] = &chaosNode{ts: ts, url: "http://" + ts.Listener.Addr().String()}
+		urls[i] = nodes[i].url
+	}
+	for i := range nodes {
+		node := nodes[i]
+		s, err := New(context.Background(), Config{
+			CacheDir: t.TempDir(),
+			Cluster: &cluster.Config{
+				Peers:          urls,
+				Self:           node.url,
+				AttemptTimeout: 500 * time.Millisecond,
+				Retries:        1,
+				Backoff:        time.Millisecond,
+				HedgeDelay:     20 * time.Millisecond,
+				Breaker:        cluster.BreakerConfig{FailureThreshold: 3, OpenWindow: 100 * time.Millisecond},
+				Transport:      &faultinject.Transport{Faults: faults},
+				Seed:           uint64(i + 1),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner := s.runSim
+		s.runSim = func(m config.Machine, tr trace.Reader, opts sim.Options) sim.Result {
+			node.sims.Add(1)
+			return inner(m, tr, opts)
+		}
+		node.srv = s
+		node.ts.Config.Handler = s.Handler()
+		node.ts.Start()
+		t.Cleanup(func() {
+			node.ts.Close()
+			s.Close()
+		})
+	}
+	return nodes
+}
+
+func chaosBody(uops int) string {
+	return fmt.Sprintf(`{"machine":"BDW","workload":{"profile":"mcf","uops":%d}}`, uops)
+}
+
+// keyOfBody resolves a request body to its content-addressed result key
+// without running it.
+func keyOfBody(t *testing.T, s *Server, body string) resultcache.Key {
+	t.Helper()
+	req, err := parseRequest(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.key
+}
+
+// bodiesOwnedBy scans uops values for `count` distinct requests whose
+// result keys the given node owns — ownership is address-dependent, so
+// tests that need "the owner" must search rather than assume.
+func bodiesOwnedBy(t *testing.T, nodes []*chaosNode, idx, count int) []string {
+	t.Helper()
+	var out []string
+	for u := 3000; u < 3000+8192 && len(out) < count; u++ {
+		body := chaosBody(u)
+		if nodes[idx].srv.cluster.OwnsSelf(keyOfBody(t, nodes[idx].srv, body)) {
+			out = append(out, body)
+		}
+	}
+	if len(out) < count {
+		t.Fatalf("found %d of %d keys owned by node %d in 8192 candidates", len(out), count, idx)
+	}
+	return out
+}
+
+func bodyOwnedBy(t *testing.T, nodes []*chaosNode, idx int) string {
+	t.Helper()
+	return bodiesOwnedBy(t, nodes, idx, 1)[0]
+}
+
+func postURL(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// metricValue scrapes one series (full name including labels) from a
+// node's /metrics page; absent series read as 0.
+func metricValue(t *testing.T, url, series string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// TestClusterCrossPeerHit: the happy ladder. The owner simulates once;
+// every other node serves the same bytes via a peer fetch, then from its
+// own promoted memory tier — one simulation fleet-wide.
+func TestClusterCrossPeerHit(t *testing.T) {
+	nodes := newChaosRing(t, 3, faultinject.NewNetFaults(11))
+	body := bodyOwnedBy(t, nodes, 0)
+
+	r0, b0 := postURL(t, nodes[0].url, body)
+	if r0.StatusCode != http.StatusOK || r0.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("owner: %d, X-Cache %q", r0.StatusCode, r0.Header.Get("X-Cache"))
+	}
+
+	r1, b1 := postURL(t, nodes[1].url, body)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("peer read: %d: %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "peer" {
+		t.Fatalf("non-owner X-Cache = %q, want peer", got)
+	}
+	if !bytes.Equal(b0, b1) {
+		t.Fatal("peer-served body differs from the owner's")
+	}
+	if r0.Header.Get("X-Result-Key") != r1.Header.Get("X-Result-Key") {
+		t.Fatal("same request resolved to different keys on different nodes")
+	}
+	if nodes[0].sims.Load() != 1 || nodes[1].sims.Load() != 0 {
+		t.Fatalf("sims = %d/%d, want 1/0", nodes[0].sims.Load(), nodes[1].sims.Load())
+	}
+
+	// The fetched entry was promoted: the next read is a local memory hit.
+	r2, b2 := postURL(t, nodes[1].url, body)
+	if r2.Header.Get("X-Cache") != "hit" || !bytes.Equal(b1, b2) {
+		t.Fatalf("promoted entry not served locally (X-Cache %q)", r2.Header.Get("X-Cache"))
+	}
+
+	// Both sides of the exchange are visible in metrics.
+	if v := metricValue(t, nodes[1].url, `simd_peer_fetch_total{outcome="hit"}`); v != 1 {
+		t.Fatalf("fetch hit counter = %v, want 1", v)
+	}
+	if v := metricValue(t, nodes[0].url, `simd_peer_served_total{kind="get_hit"}`); v < 1 {
+		t.Fatalf("owner served counter = %v, want >= 1", v)
+	}
+}
+
+// TestClusterOfferConverges: a non-owner that cold-simulates pushes the
+// result to the owner, so the authority serves it locally from then on.
+func TestClusterOfferConverges(t *testing.T) {
+	nodes := newChaosRing(t, 3, faultinject.NewNetFaults(12))
+	body := bodyOwnedBy(t, nodes, 0)
+
+	r1, b1 := postURL(t, nodes[1].url, body)
+	if r1.StatusCode != http.StatusOK || r1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("cold non-owner: %d, X-Cache %q", r1.StatusCode, r1.Header.Get("X-Cache"))
+	}
+	if nodes[1].sims.Load() != 1 {
+		t.Fatalf("non-owner sims = %d, want 1", nodes[1].sims.Load())
+	}
+
+	// The owner now has the entry via the synchronous offer: a local hit,
+	// no simulation.
+	r0, b0 := postURL(t, nodes[0].url, body)
+	if r0.Header.Get("X-Cache") != "hit" || !bytes.Equal(b0, b1) {
+		t.Fatalf("owner after offer: X-Cache %q", r0.Header.Get("X-Cache"))
+	}
+	if nodes[0].sims.Load() != 0 {
+		t.Fatalf("owner simulated %d times after receiving the offer", nodes[0].sims.Load())
+	}
+	if v := metricValue(t, nodes[1].url, `simd_peer_offers_total{result="ok"}`); v != 1 {
+		t.Fatalf("offer counter = %v, want 1", v)
+	}
+	if v := metricValue(t, nodes[0].url, `simd_peer_served_total{kind="fill"}`); v != 1 {
+		t.Fatalf("fill counter = %v, want 1", v)
+	}
+}
+
+// TestClusterChaosMatrix drives the full fault matrix through a live
+// 3-node ring: for every network fault mode, a non-owner read of a key
+// whose owner is faulted still answers 200 with bytes identical to the
+// owner's copy — the ladder degrades, the client never notices.
+func TestClusterChaosMatrix(t *testing.T) {
+	cases := []struct {
+		mode faultinject.NetMode
+		// series (given the faulted owner's URL) that must move on the
+		// posting node, proving the fault was seen, classified, and
+		// exported — not silently absorbed. A dead or stalled owner is NOT
+		// a degrade here: the failover/hedge replica answers a definitive
+		// miss, so the fault shows up as a per-peer error.
+		series func(owner string) string
+	}{
+		{faultinject.NetRefuse, func(owner string) string {
+			return fmt.Sprintf(`simd_peer_requests_total{peer=%q,outcome="error"}`, owner)
+		}},
+		{faultinject.NetStall, func(owner string) string {
+			return fmt.Sprintf(`simd_peer_requests_total{peer=%q,outcome="error"}`, owner)
+		}},
+		{faultinject.NetLatency, func(string) string {
+			return `simd_peer_hedges_total{result="launched"}`
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			faults := faultinject.NewNetFaults(13)
+			nodes := newChaosRing(t, 3, faults)
+			body := bodyOwnedBy(t, nodes, 0)
+
+			// Seed the owner's copy while the network is clean.
+			_, want := postURL(t, nodes[0].url, body)
+
+			faults.SetLatency(200 * time.Millisecond) // > the 20ms hedge delay
+			faults.Set(nodes[0].host(), tc.mode)
+
+			resp, got := postURL(t, nodes[1].url, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("faulted read: %d: %s", resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("response under fault differs from the owner's bytes")
+			}
+			series := tc.series(nodes[0].url)
+			if v := metricValue(t, nodes[1].url, series); v < 1 {
+				t.Fatalf("%s = %v on the posting node, want >= 1", series, v)
+			}
+		})
+	}
+
+	// Corrupt transfers get their own leg: the wire damage must be caught
+	// by entry verification and counted per peer, and the client must get
+	// clean bytes from the local rung instead.
+	for _, mode := range []faultinject.NetMode{faultinject.NetTruncate, faultinject.NetBitFlip} {
+		t.Run(mode.String(), func(t *testing.T) {
+			faults := faultinject.NewNetFaults(14)
+			nodes := newChaosRing(t, 3, faults)
+			body := bodyOwnedBy(t, nodes, 0)
+			_, want := postURL(t, nodes[0].url, body)
+			faults.Set(nodes[0].host(), mode)
+
+			resp, got := postURL(t, nodes[1].url, body)
+			if resp.StatusCode != http.StatusOK || !bytes.Equal(got, want) {
+				t.Fatalf("corrupt-wire read: %d, identical=%v", resp.StatusCode, bytes.Equal(got, want))
+			}
+			series := fmt.Sprintf(`simd_peer_requests_total{peer=%q,outcome="corrupt"}`, nodes[0].url)
+			if v := metricValue(t, nodes[1].url, series); v < 1 {
+				t.Fatalf("%s = %v, want >= 1", series, v)
+			}
+		})
+	}
+}
+
+// TestClusterFlappingPeer: the owner dies and revives across a stream of
+// reads. Every read answers 200 with correct bytes; the breaker trips
+// while it is down and recovers when it returns.
+func TestClusterFlappingPeer(t *testing.T) {
+	faults := faultinject.NewNetFaults(15)
+	nodes := newChaosRing(t, 3, faults)
+	// Each read uses a distinct key (all owned by node 0, all pre-seeded
+	// there): a repeated body would land in node 1's local cache after the
+	// first read and never exercise the peer rung again.
+	bodies := bodiesOwnedBy(t, nodes, 0, 24)
+	want := make(map[string][]byte, len(bodies))
+	for _, body := range bodies {
+		_, b := postURL(t, nodes[0].url, body)
+		want[body] = b
+	}
+
+	next := 0
+	read := func(cycle int, phase string) {
+		t.Helper()
+		body := bodies[next]
+		next++
+		resp, got := postURL(t, nodes[1].url, body)
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(got, want[body]) {
+			t.Fatalf("cycle %d %s read: %d", cycle, phase, resp.StatusCode)
+		}
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		faults.Set(nodes[0].host(), faultinject.NetRefuse)
+		for i := 0; i < 4; i++ {
+			read(cycle, "down")
+		}
+		faults.Set(nodes[0].host(), faultinject.NetNone)
+		// Give the 100ms breaker window a chance to admit a probe.
+		time.Sleep(120 * time.Millisecond)
+		for i := 0; i < 4; i++ {
+			read(cycle, "up")
+		}
+	}
+	opens := fmt.Sprintf("simd_peer_breaker_opens_total{peer=%q}", nodes[0].url)
+	if v := metricValue(t, nodes[1].url, opens); v < 1 {
+		t.Fatalf("%s = %v, want >= 1 across three flap cycles", opens, v)
+	}
+	// After the final healthy phase the ring converged back to peer serving:
+	// the flapping owner is answering again.
+	state := fmt.Sprintf("simd_peer_breaker_state{peer=%q}", nodes[0].url)
+	if v := metricValue(t, nodes[1].url, state); v == float64(cluster.BreakerOpen) {
+		t.Fatalf("breaker still open after recovery (state %v)", v)
+	}
+}
+
+// TestClusterFullyPartitionedMatchesSingleNode: with every peer
+// unreachable, a clustered node's responses are byte-identical to a plain
+// single-node server's — the bottom of the degradation ladder IS the
+// single-node behavior.
+func TestClusterFullyPartitionedMatchesSingleNode(t *testing.T) {
+	_, single := newTestServer(t, Config{}, nil)
+
+	faults := faultinject.NewNetFaults(16)
+	nodes := newChaosRing(t, 3, faults)
+	for _, n := range nodes {
+		faults.Set(n.host(), faultinject.NetRefuse)
+	}
+
+	for u := 4000; u < 4006; u++ {
+		body := chaosBody(u)
+		respS, err := http.Post(single.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := io.ReadAll(respS.Body)
+		respS.Body.Close()
+
+		resp, got := postURL(t, nodes[1].url, body)
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+			t.Fatalf("uops %d: partitioned node answered %d/%q", u, resp.StatusCode, resp.Header.Get("X-Cache"))
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("uops %d: partitioned response differs from single-node", u)
+		}
+	}
+	if got := nodes[1].sims.Load(); got != 6 {
+		t.Fatalf("partitioned node simulated %d of 6 requests itself", got)
+	}
+}
+
+// TestClusterKillPeerMidSweep: a 12-point sweep round-robined across the
+// ring, with one node killed outright (listener closed) halfway through.
+// Every surviving response must match the single-node reference bytes.
+// When CLUSTER_SMOKE_ARTIFACT names a directory, each survivor's per-peer
+// metrics page is written there for the CI artifact.
+func TestClusterKillPeerMidSweep(t *testing.T) {
+	_, single := newTestServer(t, Config{}, nil)
+	reference := func(body string) []byte {
+		resp, err := http.Post(single.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	nodes := newChaosRing(t, 3, faultinject.NewNetFaults(17))
+	const sweep = 12
+	for i := 0; i < sweep; i++ {
+		if i == sweep/2 {
+			nodes[2].ts.Close() // SIGKILL equivalent: the listener just goes away
+		}
+		body := chaosBody(5000 + i)
+		// Round-robin over the survivors; node 2 takes no more requests
+		// after its death but stays in everyone's ring membership.
+		target := nodes[i%3]
+		if i >= sweep/2 {
+			target = nodes[i%2]
+		}
+		resp, got := postURL(t, target.url, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep %d via node %s: %d: %s", i, target.url, resp.StatusCode, got)
+		}
+		if !bytes.Equal(got, reference(body)) {
+			t.Fatalf("sweep %d: response differs from the single-node reference", i)
+		}
+	}
+
+	if dir := os.Getenv("CLUSTER_SMOKE_ARTIFACT"); dir != "" {
+		for i, n := range nodes[:2] {
+			resp, err := http.Get(n.url + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, fmt.Sprintf("peer-metrics-node%d.prom", i))
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The survivors' metrics still render the full per-peer section,
+	// including the dead member.
+	for _, n := range nodes[:2] {
+		resp, err := http.Get(n.url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		page, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(page), fmt.Sprintf("simd_peer_breaker_state{peer=%q}", nodes[2].url)) {
+			t.Fatalf("node %s dropped the dead peer from its metrics", n.url)
+		}
+	}
+}
+
+// TestPeerEndpointProtocol exercises the serve side directly: framed
+// entries round-trip, fills are verified before storage, and garbage is
+// rejected with the right statuses.
+func TestPeerEndpointProtocol(t *testing.T) {
+	s, ts := newTestServer(t, Config{}, nil)
+
+	// Produce a real entry to fetch.
+	resp := post(t, ts, simulateBody(t, ""))
+	payload := readAll(t, resp)
+	keyHex := resp.Header.Get("X-Result-Key")
+
+	get := func(key string) *http.Response {
+		r, err := http.Get(ts.URL + "/v1/peer/result/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r := get(keyHex)
+	frame := readAll(t, r)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("peer get: %d", r.StatusCode)
+	}
+	decoded, err := resultcache.DecodeEntry(frame)
+	if err != nil || !bytes.Equal(decoded, payload) {
+		t.Fatalf("served frame does not verify: %v", err)
+	}
+
+	if r := get(strings.Repeat("00", 32)); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key: %d, want 404", r.StatusCode)
+	}
+	if r := get("zz"); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed key: %d, want 400", r.StatusCode)
+	}
+
+	put := func(key string, body []byte) *http.Response {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/peer/result/"+key, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	// A verified fill is accepted.
+	if r := put(keyHex, frame); r.StatusCode != http.StatusNoContent {
+		t.Fatalf("valid fill: %d", r.StatusCode)
+	}
+
+	// A bit-flipped frame must be rejected, not stored.
+	bad := bytes.Clone(frame)
+	bad[len(bad)-1] ^= 0x01
+	if r := put(keyHex, bad); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt fill: %d, want 400", r.StatusCode)
+	}
+	// A frame whose payload is not a decodable result is rejected even
+	// with a valid checksum.
+	junk := resultcache.EncodeEntry([]byte("not a result"))
+	junkKey := resultcache.KeyOf([]byte("not a result"))
+	if r := put(junkKey.String(), junk); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-result fill: %d, want 400", r.StatusCode)
+	}
+	if _, ok := s.cache.Get(junkKey); ok {
+		t.Fatal("rejected fill reached the cache")
+	}
+}

@@ -30,6 +30,11 @@ type metrics struct {
 	canceled  atomic.Uint64 // requests abandoned by the client
 	coalesced atomic.Uint64 // requests served by another request's flight
 
+	peerServes        atomic.Uint64 // peer GETs served from the local cache
+	peerServeMisses   atomic.Uint64 // peer GETs answered 404
+	peerFills         atomic.Uint64 // peer PUTs verified and stored
+	peerFillsRejected atomic.Uint64 // peer PUTs rejected by verification
+
 	queueDepth atomic.Int64 // runner pool queue gauge
 	active     atomic.Int64 // runner pool active-jobs gauge
 	inflight   func() int   // singleflight gauge (read at scrape time)
@@ -113,6 +118,10 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE simd_coalesced_total counter\n")
 	fmt.Fprintf(w, "simd_coalesced_total %d\n", m.coalesced.Load())
 
+	if s.cluster != nil {
+		s.servePeerMetrics(w)
+	}
+
 	fmt.Fprintf(w, "# HELP simd_queue_depth Jobs admitted but not yet running.\n")
 	fmt.Fprintf(w, "# TYPE simd_queue_depth gauge\n")
 	fmt.Fprintf(w, "simd_queue_depth %d\n", m.queueDepth.Load())
@@ -123,5 +132,57 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP simd_inflight_keys Distinct request keys currently being produced.\n")
 		fmt.Fprintf(w, "# TYPE simd_inflight_keys gauge\n")
 		fmt.Fprintf(w, "simd_inflight_keys %d\n", m.inflight())
+	}
+}
+
+// servePeerMetrics renders the cluster section: ladder outcomes, the
+// served side of the peer protocol, and per-peer fetch counters plus
+// breaker state (0=closed, 1=open, 2=half-open). Only emitted when the
+// node is clustered, so a single-node /metrics page is byte-compatible
+// with the pre-cluster exposition.
+func (s *Server) servePeerMetrics(w http.ResponseWriter) {
+	m := s.metrics
+	cs := &s.cluster.Stats
+	fmt.Fprintf(w, "# HELP simd_peer_fetch_total Peer-rung ladder outcomes for local misses this node does not own.\n")
+	fmt.Fprintf(w, "# TYPE simd_peer_fetch_total counter\n")
+	fmt.Fprintf(w, "simd_peer_fetch_total{outcome=\"hit\"} %d\n", cs.Hits.Load())
+	fmt.Fprintf(w, "simd_peer_fetch_total{outcome=\"miss\"} %d\n", cs.Misses.Load())
+	fmt.Fprintf(w, "simd_peer_fetch_total{outcome=\"degraded\"} %d\n", cs.Degrades.Load())
+	fmt.Fprintf(w, "# HELP simd_peer_hedges_total Hedged second reads launched (and won).\n")
+	fmt.Fprintf(w, "# TYPE simd_peer_hedges_total counter\n")
+	fmt.Fprintf(w, "simd_peer_hedges_total{result=\"launched\"} %d\n", cs.Hedges.Load())
+	fmt.Fprintf(w, "simd_peer_hedges_total{result=\"won\"} %d\n", cs.HedgeWins.Load())
+	fmt.Fprintf(w, "# HELP simd_peer_offers_total Locally simulated results pushed to their ring owner.\n")
+	fmt.Fprintf(w, "# TYPE simd_peer_offers_total counter\n")
+	fmt.Fprintf(w, "simd_peer_offers_total{result=\"ok\"} %d\n", cs.Offers.Load())
+	fmt.Fprintf(w, "simd_peer_offers_total{result=\"error\"} %d\n", cs.OfferErrors.Load())
+
+	fmt.Fprintf(w, "# HELP simd_peer_served_total Peer protocol requests served by this node.\n")
+	fmt.Fprintf(w, "# TYPE simd_peer_served_total counter\n")
+	fmt.Fprintf(w, "simd_peer_served_total{kind=\"get_hit\"} %d\n", m.peerServes.Load())
+	fmt.Fprintf(w, "simd_peer_served_total{kind=\"get_miss\"} %d\n", m.peerServeMisses.Load())
+	fmt.Fprintf(w, "simd_peer_served_total{kind=\"fill\"} %d\n", m.peerFills.Load())
+	fmt.Fprintf(w, "simd_peer_served_total{kind=\"fill_rejected\"} %d\n", m.peerFillsRejected.Load())
+
+	fmt.Fprintf(w, "# HELP simd_peer_breaker_state Per-peer circuit breaker state (0=closed, 1=open, 2=half-open).\n")
+	fmt.Fprintf(w, "# TYPE simd_peer_breaker_state gauge\n")
+	for _, p := range s.cluster.PeerStores() {
+		fmt.Fprintf(w, "simd_peer_breaker_state{peer=%q} %d\n", p.Addr(), p.Breaker().State())
+	}
+	fmt.Fprintf(w, "# HELP simd_peer_breaker_opens_total Per-peer breaker trips to open.\n")
+	fmt.Fprintf(w, "# TYPE simd_peer_breaker_opens_total counter\n")
+	for _, p := range s.cluster.PeerStores() {
+		fmt.Fprintf(w, "simd_peer_breaker_opens_total{peer=%q} %d\n", p.Addr(), p.Breaker().Opens())
+	}
+	fmt.Fprintf(w, "# HELP simd_peer_requests_total Per-peer exchange outcomes from this node's client side.\n")
+	fmt.Fprintf(w, "# TYPE simd_peer_requests_total counter\n")
+	for _, p := range s.cluster.PeerStores() {
+		st := &p.Stats
+		fmt.Fprintf(w, "simd_peer_requests_total{peer=%q,outcome=\"hit\"} %d\n", p.Addr(), st.Hits.Load())
+		fmt.Fprintf(w, "simd_peer_requests_total{peer=%q,outcome=\"miss\"} %d\n", p.Addr(), st.Misses.Load())
+		fmt.Fprintf(w, "simd_peer_requests_total{peer=%q,outcome=\"error\"} %d\n", p.Addr(), st.Errors.Load())
+		fmt.Fprintf(w, "simd_peer_requests_total{peer=%q,outcome=\"corrupt\"} %d\n", p.Addr(), st.Corrupt.Load())
+		fmt.Fprintf(w, "simd_peer_requests_total{peer=%q,outcome=\"rejected\"} %d\n", p.Addr(), st.Rejected.Load())
+		fmt.Fprintf(w, "simd_peer_requests_total{peer=%q,outcome=\"fill\"} %d\n", p.Addr(), st.Fills.Load())
 	}
 }

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"perfstacks/internal/export"
+	"perfstacks/internal/resultcache"
+)
+
+// maxPeerEntryBytes bounds a peer fill body: the entry frame around a
+// result payload. Matches the cluster reader's cap.
+const maxPeerEntryBytes = 64 << 20
+
+// parsePeerKey decodes the {key} path element (64 hex chars).
+func parsePeerKey(r *http.Request) (resultcache.Key, error) {
+	var k resultcache.Key
+	raw := r.PathValue("key")
+	b, err := hex.DecodeString(raw)
+	if err != nil || len(b) != len(k) {
+		return k, fmt.Errorf("bad key %q: want %d hex characters", raw, 2*len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// handlePeerGet serves GET /v1/peer/result/{key}: the cluster-internal
+// read path. It consults the local cache tiers only — a peer fetch must
+// never trigger a simulation here (the requester owns the degradation
+// decision; recursive fills would let one request fan work across the
+// ring). The body is the verified entry frame (magic, digest, payload), so
+// the requester re-verifies with the same path a local disk read uses.
+func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
+	k, err := parsePeerKey(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	payload, ok := s.cache.Get(k)
+	if !ok {
+		s.metrics.peerServeMisses.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	s.metrics.peerServes.Add(1)
+	frame := resultcache.EncodeEntry(payload)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.Write(frame)
+}
+
+// handlePeerPut serves PUT /v1/peer/result/{key}: the cluster-internal
+// fill path, used by a non-owner that simulated a key this node owns. The
+// body re-verifies through the corrupted-entry path before a byte of it is
+// stored, and must decode as a versioned result — a corrupt or garbage
+// fill is rejected, never cached.
+func (s *Server) handlePeerPut(w http.ResponseWriter, r *http.Request) {
+	k, err := parsePeerKey(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxPeerEntryBytes)
+	frame, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading fill body: %v", err))
+		return
+	}
+	payload, err := resultcache.DecodeEntry(frame)
+	if err != nil {
+		s.metrics.peerFillsRejected.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, _, err := export.DecodeResult(payload); err != nil {
+		s.metrics.peerFillsRejected.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("fill is not a decodable result: %v", err))
+		return
+	}
+	if err := s.cache.Put(k, payload); err != nil {
+		// A full disk degrades the fill to memory-only, same as a local
+		// simulation's store; the fill still succeeded.
+		s.logf("simd: peer fill %s: %v", k, err)
+	}
+	s.metrics.peerFills.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}

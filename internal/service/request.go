@@ -112,6 +112,11 @@ type plan struct {
 	// the per-thread readers and mkReader is unused.
 	smpCores int
 	mkSMP    func(tid int) trace.Reader
+	// via records how the flight leader's produce resolved ("peer" when a
+	// ring replica served the payload; "" means a local simulation).
+	// Written inside the flight, read by the leader after the flight's
+	// done channel closes.
+	via string
 }
 
 // parseRequest decodes and strictly validates a request body. All errors
