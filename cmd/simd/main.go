@@ -5,25 +5,30 @@
 // Usage:
 //
 //	simd -addr :8080 -cache /var/cache/simd -workers 8 [-traces DIR]
-//	simd -addr :8080 -self http://a:8080 -peers http://a:8080,http://b:8080
+//	simd -addr :8080 -self http://a:8080 -peers http://a:8080,http://b:8080 \
+//	     -peer-token SECRET
 //
 // With -peers, the node joins a consistent-hash ring over the result-cache
 // key space: each key has an owner peer, local misses try the owner (with
 // per-peer circuit breakers, bounded retries and a hedged read to the next
 // replica) before simulating, and locally simulated results are offered to
-// their owner. Every node must be started with the same -peers set. All
-// peer failures degrade down the ladder (peer → local cache → local
-// simulation); a fully partitioned node behaves exactly like a single-node
-// simd.
+// their owner. Every node must be started with the same -peers set and the
+// same -peer-token (or $SIMD_PEER_TOKEN), the shared secret that gates the
+// cluster-internal endpoints. All peer failures degrade down the ladder
+// (peer → local cache → local simulation); a fully partitioned node
+// behaves exactly like a single-node simd.
 //
 // Endpoints:
 //
 //	POST /v1/simulate          run (or fetch) a simulation; see internal/service
-//	GET  /v1/peer/result/{key} cluster-internal: serve a cached entry to a peer
-//	PUT  /v1/peer/result/{key} cluster-internal: accept a verified fill
+//	GET  /v1/peer/result/{key} ring members only: serve a cached entry to a peer
+//	PUT  /v1/peer/result/{key} ring members only: accept a verified fill
 //	GET  /healthz              liveness
 //	GET  /metrics              Prometheus text metrics
 //	GET  /debug/pprof/         runtime profiles
+//
+// The /v1/peer routes are registered only when -peers is set, and require
+// the ring's bearer token; a single-node simd exposes no peer surface.
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
 // in-flight requests get -drain to finish, then running simulations are
@@ -59,7 +64,8 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated base URLs of every ring member including this node (empty = single-node)")
 	self := flag.String("self", "", "this node's own base URL within -peers (required with -peers)")
 	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "per-attempt deadline for one peer exchange")
-	peerRetries := flag.Int("peer-retries", 1, "retries per peer fetch after the first attempt")
+	peerRetries := flag.Int("peer-retries", 1, "retries per peer fetch after the first attempt (0 disables retries)")
+	peerToken := flag.String("peer-token", "", "shared secret gating the cluster-internal /v1/peer endpoints; required with -peers (falls back to $SIMD_PEER_TOKEN)")
 	peerHedge := flag.Duration("peer-hedge", 50*time.Millisecond, "delay before a hedged read to the next replica (<0 disables)")
 	breakerFails := flag.Int("peer-breaker-failures", 3, "consecutive failures that open a peer's circuit breaker")
 	breakerWindow := flag.Duration("peer-breaker-window", 5*time.Second, "how long an open breaker fails fast before probing")
@@ -80,11 +86,26 @@ func main() {
 		for i := range list {
 			list[i] = strings.TrimRight(strings.TrimSpace(list[i]), "/")
 		}
+		token := *peerToken
+		if token == "" {
+			token = os.Getenv("SIMD_PEER_TOKEN")
+		}
+		if token == "" {
+			logger.Fatal("-peers requires -peer-token (or $SIMD_PEER_TOKEN): the peer fill endpoints must not be open to arbitrary clients")
+		}
+		retries := *peerRetries
+		if retries == 0 {
+			// The flag default is 1, so an explicit 0 means "no retries";
+			// cluster.Config spells that as its negative sentinel (0 there
+			// means "unset → default").
+			retries = -1
+		}
 		cfg.Cluster = &cluster.Config{
 			Peers:          list,
 			Self:           strings.TrimRight(strings.TrimSpace(*self), "/"),
+			AuthToken:      token,
 			AttemptTimeout: *peerTimeout,
-			Retries:        *peerRetries,
+			Retries:        retries,
 			HedgeDelay:     *peerHedge,
 			Breaker: cluster.BreakerConfig{
 				FailureThreshold: *breakerFails,

@@ -89,8 +89,8 @@ func newBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
 
 // Allow reports whether a request may be sent to the peer right now. A
 // true return from a half-open breaker claims the probe slot: the caller
-// MUST follow up with Record, or the breaker stays half-open with the slot
-// held forever.
+// MUST follow up with Record (a judged outcome) or Cancel (an aborted
+// exchange), or the breaker stays half-open with the slot held forever.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -141,6 +141,20 @@ func (b *Breaker) Record(ok bool) {
 	case BreakerOpen:
 		// A straggler from before the trip; the window restarts from the
 		// trip, not from stragglers, so nothing to do.
+	}
+}
+
+// Cancel releases an admission Allow granted without judging the peer: a
+// half-open probe slot is freed for the next caller, and nothing else
+// changes. It is for exchanges aborted by the *caller* — a lost hedge
+// race, a disconnected client — whose outcome says nothing about the
+// peer's health; recording those as failures would trip a healthy peer's
+// breaker on pure cancellation traffic.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
 	}
 }
 

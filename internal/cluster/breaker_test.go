@@ -160,6 +160,53 @@ func TestBreakerConcurrentProbes(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelNeutral: Cancel releases an admission without judging
+// the peer — a storm of caller-side cancellations neither trips a closed
+// breaker nor resets its real failure progress, and a canceled half-open
+// probe frees the slot instead of wedging the breaker half-open forever.
+func TestBreakerCancelNeutral(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(BreakerConfig{FailureThreshold: 3, OpenWindow: time.Second}, clk.now)
+
+	for i := 0; i < 100; i++ {
+		if !b.Allow() {
+			t.Fatalf("cancel %d: admission refused while closed", i)
+		}
+		b.Cancel()
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after canceled storm = %v, want closed", got)
+	}
+
+	// Cancellations interleaved with genuine failures neither add to nor
+	// clear the consecutive-failure count: the third real failure trips.
+	b.Record(false)
+	b.Cancel()
+	b.Record(false)
+	b.Cancel()
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after three real failures = %v, want open", got)
+	}
+
+	// Half-open: the canceled probe's slot goes to the next caller.
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe slot not granted after the window")
+	}
+	b.Cancel()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("canceled probe changed the state to %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("canceled probe did not release the slot")
+	}
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful re-probe = %v, want closed", got)
+	}
+}
+
 // TestBreakerFlappingCapsErrorLatency is the flap chaos test: a peer that
 // dies and revives repeatedly. While the breaker is open, the error path
 // must cost an Allow() check only — no waiting — so the total time spent

@@ -21,9 +21,20 @@ type Config struct {
 	Peers []string
 	// Self is this node's own base URL, matched literally against Peers.
 	Self string
+	// AuthToken is the shared secret gating the cluster-internal peer
+	// endpoints: every ring member must be started with the same value,
+	// and every peer exchange carries it as a bearer token. Required —
+	// New refuses a cluster without one. The PUT fill path trusts the
+	// sender's key↔payload binding (the key derives from the request
+	// config, which the payload alone cannot reproduce), and that trust
+	// is only sound when fills come from authenticated ring members, not
+	// from anything that can reach the port.
+	AuthToken string
 	// AttemptTimeout bounds each peer exchange (default 2s).
 	AttemptTimeout time.Duration
 	// Retries re-attempts transient Get failures (default 1 → 2 attempts).
+	// A negative value disables retries entirely (exactly one attempt);
+	// 0 means "unset" and takes the default.
 	Retries int
 	// Backoff is the base retry delay, exponential with equal jitter
 	// (default 25ms).
@@ -44,10 +55,11 @@ func (c Config) withDefaults() Config {
 	if c.AttemptTimeout <= 0 {
 		c.AttemptTimeout = 2 * time.Second
 	}
+	if c.Retries == 0 {
+		c.Retries = 1 // unset → default; negative is the "no retries" sentinel
+	}
 	if c.Retries < 0 {
 		c.Retries = 0
-	} else if c.Retries == 0 {
-		c.Retries = 1
 	}
 	if c.Backoff <= 0 {
 		c.Backoff = 25 * time.Millisecond
@@ -110,6 +122,9 @@ type Cluster struct {
 // other than Self is required — a one-node "cluster" is just a node.
 func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
+	if cfg.AuthToken == "" {
+		return nil, fmt.Errorf("cluster: AuthToken is required: the peer fill endpoints must not be open to arbitrary clients")
+	}
 	ring, err := NewRing(cfg.Peers)
 	if err != nil {
 		return nil, err

@@ -15,8 +15,13 @@ import (
 	"perfstacks/internal/resultcache"
 )
 
+// stubToken is the ring bearer token every stub peer demands, so these
+// tests double as proof the client side sends it on every exchange.
+const stubToken = "ring-secret"
+
 // stubPeer is a minimal in-memory peer speaking the /v1/peer/result
-// protocol: entry-framed bodies, 404 misses, 204 fills.
+// protocol: entry-framed bodies, 404 misses, 204 fills, 403 for any
+// request missing the ring token.
 type stubPeer struct {
 	ts *httptest.Server
 
@@ -31,6 +36,10 @@ func newStubPeer(t *testing.T) *stubPeer {
 	p := &stubPeer{entries: make(map[string][]byte)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+PeerPath+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != "Bearer "+stubToken {
+			w.WriteHeader(http.StatusForbidden)
+			return
+		}
 		p.mu.Lock()
 		payload, ok := p.entries[r.PathValue("key")]
 		p.gets++
@@ -42,6 +51,10 @@ func newStubPeer(t *testing.T) *stubPeer {
 		w.Write(resultcache.EncodeEntry(payload))
 	})
 	mux.HandleFunc("PUT "+PeerPath+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != "Bearer "+stubToken {
+			w.WriteHeader(http.StatusForbidden)
+			return
+		}
 		frame, err := io.ReadAll(r.Body)
 		if err != nil {
 			w.WriteHeader(http.StatusBadRequest)
@@ -81,6 +94,7 @@ func testConfig(peers []*stubPeer, faults *faultinject.NetFaults) Config {
 	return Config{
 		Peers:          addrs,
 		Self:           "http://self.invalid:1",
+		AuthToken:      stubToken,
 		AttemptTimeout: 500 * time.Millisecond,
 		Retries:        1,
 		Backoff:        time.Millisecond,
@@ -111,13 +125,16 @@ func candidates(t *testing.T, c *Cluster, peers []*stubPeer, k resultcache.Key) 
 }
 
 func TestClusterValidation(t *testing.T) {
-	if _, err := New(Config{Peers: []string{"http://a:1"}, Self: "http://a:1"}); err == nil {
+	if _, err := New(Config{Peers: []string{"http://a:1"}, Self: "http://a:1", AuthToken: "t"}); err == nil {
 		t.Fatal("single-member cluster accepted")
 	}
-	if _, err := New(Config{Peers: []string{"http://a:1", "http://b:1"}, Self: "http://c:1"}); err == nil {
+	if _, err := New(Config{Peers: []string{"http://a:1", "http://b:1"}, Self: "http://c:1", AuthToken: "t"}); err == nil {
 		t.Fatal("self outside the membership accepted")
 	}
-	if _, err := New(Config{Peers: []string{"http://a:1", "http://b:1"}, Self: "http://a:1"}); err != nil {
+	if _, err := New(Config{Peers: []string{"http://a:1", "http://b:1"}, Self: "http://a:1"}); err == nil {
+		t.Fatal("cluster without an auth token accepted: the peer fill surface would be open to anyone")
+	}
+	if _, err := New(Config{Peers: []string{"http://a:1", "http://b:1"}, Self: "http://a:1", AuthToken: "t"}); err != nil {
 		t.Fatalf("valid cluster rejected: %v", err)
 	}
 }
@@ -347,13 +364,80 @@ func TestClusterOfferFillsOwner(t *testing.T) {
 	}
 }
 
+// TestPeerCancellationIsBreakerNeutral: Fetch's hedge/failover race
+// cancels the losing replica's read. A lost race (or a gone client) says
+// nothing about the loser's health, so a run of canceled fetches well past
+// the failure threshold must leave the breaker closed and the per-peer
+// error counter untouched — while a genuine failure still counts.
+func TestPeerCancellationIsBreakerNeutral(t *testing.T) {
+	peer := newStubPeer(t)
+	faults := faultinject.NewNetFaults(8)
+	faults.SetLatency(2 * time.Second) // alive but far slower than the callers' patience
+	faults.Set(peer.host(), faultinject.NetLatency)
+	cfg := Config{
+		Peers:          []string{peer.ts.URL, "http://self.invalid:1"},
+		Self:           "http://self.invalid:1",
+		AuthToken:      stubToken,
+		AttemptTimeout: 5 * time.Second,
+		Retries:        -1,
+		Transport:      &faultinject.Transport{Faults: faults},
+	}
+	p := NewPeerStore(peer.ts.URL, cfg.withDefaults())
+	k := resultcache.KeyOf([]byte("hedge-loser"))
+
+	for i := 0; i < 5; i++ { // well past the default threshold of 3
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		if _, err := p.get(ctx, k); err == nil {
+			t.Fatalf("get %d: succeeded despite cancellation", i)
+		}
+		cancel()
+	}
+	if got := p.Breaker().State(); got != BreakerClosed {
+		t.Fatalf("breaker %v after five canceled fetches, want closed", got)
+	}
+	if got := p.Stats.Errors.Load(); got != 0 {
+		t.Fatalf("canceled fetches counted as %d peer errors", got)
+	}
+
+	// Real failures are still judged: refused dials trip the breaker.
+	faults.Set(peer.host(), faultinject.NetRefuse)
+	for i := 0; i < 3; i++ {
+		p.get(context.Background(), k)
+	}
+	if got := p.Breaker().State(); got != BreakerOpen {
+		t.Fatalf("breaker %v after three refused dials, want open", got)
+	}
+}
+
+// TestPeerBackoffDelayCapped: the exponential shift saturates at
+// maxBackoffShift, so an absurd retry budget cannot overflow the delay
+// into negative (immediate) or multi-year sleeps.
+func TestPeerBackoffDelayCapped(t *testing.T) {
+	base := 25 * time.Millisecond
+	cfg := Config{
+		Peers:     []string{"http://a:1", "http://self.invalid:1"},
+		Self:      "http://self.invalid:1",
+		AuthToken: stubToken,
+		Backoff:   base,
+	}
+	p := NewPeerStore("http://a:1", cfg.withDefaults())
+	limit := base << maxBackoffShift
+	for _, a := range []int{0, 1, maxBackoffShift, maxBackoffShift + 1, 62, 63, 1 << 20} {
+		d := p.backoffDelay(a)
+		if d <= 0 || d > limit {
+			t.Fatalf("backoffDelay(%d) = %v, want in (0, %v]", a, d, limit)
+		}
+	}
+}
+
 // TestPeerStoreImplementsStore: the resultcache.Store view round-trips
 // against a live stub peer.
 func TestPeerStoreImplementsStore(t *testing.T) {
 	peer := newStubPeer(t)
 	cfg := Config{
-		Peers: []string{peer.ts.URL, "http://self.invalid:1"},
-		Self:  "http://self.invalid:1",
+		Peers:     []string{peer.ts.URL, "http://self.invalid:1"},
+		Self:      "http://self.invalid:1",
+		AuthToken: stubToken,
 	}
 	var store resultcache.Store = NewPeerStore(peer.ts.URL, cfg.withDefaults())
 	k := resultcache.KeyOf([]byte("store-iface"))

@@ -59,6 +59,7 @@ type PeerStats struct {
 // immediately — "the owner does not have it" is an answer, not a failure.
 type PeerStore struct {
 	addr    string
+	token   string // ring bearer token, sent on every exchange
 	hc      *http.Client
 	breaker *Breaker
 
@@ -82,6 +83,7 @@ func NewPeerStore(addr string, cfg Config) *PeerStore {
 	cfg = cfg.withDefaults()
 	return &PeerStore{
 		addr:           addr,
+		token:          cfg.AuthToken,
 		hc:             &http.Client{Transport: cfg.Transport},
 		breaker:        NewBreaker(cfg.Breaker),
 		attemptTimeout: cfg.AttemptTimeout,
@@ -137,14 +139,25 @@ func (p *PeerStore) get(ctx context.Context, k resultcache.Key) ([]byte, error) 
 			p.Stats.Misses.Add(1)
 			return nil, err
 		}
+		if ctx.Err() != nil {
+			// The caller canceled — a lost hedge race, a client gone. The
+			// aborted exchange says nothing about the peer's health, so it
+			// must not count toward tripping the breaker (or the error
+			// stats a human reads as "this peer is failing").
+			break
+		}
 		if errors.Is(err, resultcache.ErrEntryCorrupt) {
 			p.Stats.Corrupt.Add(1)
 		}
 		p.Stats.Errors.Add(1)
 		lastErr = err
-		if ctx.Err() != nil {
-			break // the caller is gone; retrying serves nobody
+	}
+	if ctx.Err() != nil {
+		p.breaker.Cancel()
+		if lastErr == nil {
+			lastErr = ctx.Err()
 		}
+		return nil, lastErr
 	}
 	p.breaker.Record(false)
 	return nil, lastErr
@@ -158,6 +171,7 @@ func (p *PeerStore) attemptGet(ctx context.Context, k resultcache.Key) ([]byte, 
 	if err != nil {
 		return nil, fmt.Errorf("cluster: building request: %w", err)
 	}
+	req.Header.Set("Authorization", "Bearer "+p.token)
 	resp, err := p.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: GET %s: %w", p.addr, err)
@@ -208,8 +222,15 @@ func (p *PeerStore) put(ctx context.Context, k resultcache.Key, payload []byte) 
 		p.breaker.Record(false)
 		return fmt.Errorf("cluster: building fill: %w", err)
 	}
+	req.Header.Set("Authorization", "Bearer "+p.token)
 	resp, err := p.hc.Do(req)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Canceled by the caller, not failed by the peer: release the
+			// admission without judging the peer's health.
+			p.breaker.Cancel()
+			return fmt.Errorf("cluster: PUT %s: %w", p.addr, err)
+		}
 		p.breaker.Record(false)
 		p.Stats.Errors.Add(1)
 		return fmt.Errorf("cluster: PUT %s: %w", p.addr, err)
@@ -226,19 +247,35 @@ func (p *PeerStore) put(ctx context.Context, k resultcache.Key, payload []byte) 
 	return nil
 }
 
-// sleepBackoff waits out the a-th retry delay — exponential from the base
+// maxBackoffShift caps the exponential doubling so a generous retry
+// budget cannot shift the base delay into overflow (the same cap
+// internal/runner applies): the delay saturates instead of wrapping into
+// negative or multi-year sleeps.
+const maxBackoffShift = 16
+
+// backoffDelay computes the a-th retry delay — exponential from the base
 // with equal jitter (half deterministic, half seeded-random), so a herd of
 // nodes retrying against one recovering peer spreads out instead of
-// re-synchronizing. Returns false if ctx ended first.
-func (p *PeerStore) sleepBackoff(ctx context.Context, a int) bool {
+// re-synchronizing.
+func (p *PeerStore) backoffDelay(a int) time.Duration {
 	if p.backoff <= 0 {
-		return ctx.Err() == nil
+		return 0
 	}
-	d := p.backoff << a
+	d := p.backoff << min(a, maxBackoffShift)
 	half := d / 2
 	p.jitterMu.Lock()
 	d = half + time.Duration(p.jitter.next()%uint64(half+1))
 	p.jitterMu.Unlock()
+	return d
+}
+
+// sleepBackoff waits out the a-th retry delay. Returns false if ctx ended
+// first.
+func (p *PeerStore) sleepBackoff(ctx context.Context, a int) bool {
+	d := p.backoffDelay(a)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

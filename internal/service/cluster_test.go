@@ -54,6 +54,7 @@ func newChaosRing(t *testing.T, n int, faults *faultinject.NetFaults) []*chaosNo
 			Cluster: &cluster.Config{
 				Peers:          urls,
 				Self:           node.url,
+				AuthToken:      "chaos-ring-token",
 				AttemptTimeout: 500 * time.Millisecond,
 				Retries:        1,
 				Backoff:        time.Millisecond,
@@ -471,24 +472,59 @@ func TestClusterKillPeerMidSweep(t *testing.T) {
 	}
 }
 
+// newPeerProtocolServer builds a clustered server whose one "peer" is an
+// unreachable placeholder — enough to register the /v1/peer routes and
+// exercise their serve side directly. Peer fetch/offer attempts against
+// the placeholder fail fast and degrade, so /v1/simulate still works.
+func newPeerProtocolServer(t *testing.T, token string) (*Server, *httptest.Server) {
+	t.Helper()
+	return newTestServer(t, Config{
+		Cluster: &cluster.Config{
+			Peers:          []string{"http://self.invalid:1", "http://peer.invalid:1"},
+			Self:           "http://self.invalid:1",
+			AuthToken:      token,
+			AttemptTimeout: 200 * time.Millisecond,
+			Retries:        -1, // single attempt
+			Backoff:        time.Millisecond,
+			HedgeDelay:     -1 * time.Millisecond, // disabled
+		},
+	}, nil)
+}
+
 // TestPeerEndpointProtocol exercises the serve side directly: framed
-// entries round-trip, fills are verified before storage, and garbage is
-// rejected with the right statuses.
+// entries round-trip, fills are verified before storage, garbage is
+// rejected with the right statuses, and every exchange requires the
+// ring's bearer token.
 func TestPeerEndpointProtocol(t *testing.T) {
-	s, ts := newTestServer(t, Config{}, nil)
+	const token = "protocol-token"
+	s, ts := newPeerProtocolServer(t, token)
 
 	// Produce a real entry to fetch.
 	resp := post(t, ts, simulateBody(t, ""))
 	payload := readAll(t, resp)
 	keyHex := resp.Header.Get("X-Result-Key")
 
-	get := func(key string) *http.Response {
-		r, err := http.Get(ts.URL + "/v1/peer/result/" + key)
+	do := func(method, key string, body []byte, tok string) *http.Response {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, ts.URL+"/v1/peer/result/"+key, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok != "" {
+			req.Header.Set("Authorization", "Bearer "+tok)
+		}
+		r, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return r
 	}
+	get := func(key string) *http.Response { return do(http.MethodGet, key, nil, token) }
+	put := func(key string, body []byte) *http.Response { return do(http.MethodPut, key, body, token) }
+
 	r := get(keyHex)
 	frame := readAll(t, r)
 	if r.StatusCode != http.StatusOK {
@@ -504,18 +540,6 @@ func TestPeerEndpointProtocol(t *testing.T) {
 	}
 	if r := get("zz"); r.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed key: %d, want 400", r.StatusCode)
-	}
-
-	put := func(key string, body []byte) *http.Response {
-		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/peer/result/"+key, bytes.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		r, err := http.DefaultClient.Do(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return r
 	}
 
 	// A verified fill is accepted.
@@ -538,5 +562,65 @@ func TestPeerEndpointProtocol(t *testing.T) {
 	}
 	if _, ok := s.cache.Get(junkKey); ok {
 		t.Fatal("rejected fill reached the cache")
+	}
+
+	// The auth gate: no token and a wrong token are both 403, for reads
+	// and — the write surface that must never be open — fills. Nothing an
+	// unauthenticated client PUTs may enter the cache.
+	forgedKey := resultcache.KeyOf([]byte("forged"))
+	forged := resultcache.EncodeEntry([]byte("forged payload"))
+	for _, tok := range []string{"", "wrong-token"} {
+		if r := do(http.MethodGet, keyHex, nil, tok); r.StatusCode != http.StatusForbidden {
+			t.Fatalf("get with token %q: %d, want 403", tok, r.StatusCode)
+		}
+		if r := do(http.MethodPut, forgedKey.String(), forged, tok); r.StatusCode != http.StatusForbidden {
+			t.Fatalf("fill with token %q: %d, want 403", tok, r.StatusCode)
+		}
+	}
+	if _, ok := s.cache.Get(forgedKey); ok {
+		t.Fatal("unauthenticated fill reached the cache")
+	}
+	if v := metricValue(t, ts.URL, `simd_peer_served_total{kind="auth_rejected"}`); v != 4 {
+		t.Fatalf("auth_rejected counter = %v, want 4", v)
+	}
+}
+
+// TestPeerRoutesAbsentOnSingleNode: a node that never asked to be
+// clustered exposes no peer surface at all — the routes are unregistered,
+// so there is no unauthenticated cache-write endpoint to confuse or
+// poison, and the route table is exactly the pre-cluster one.
+func TestPeerRoutesAbsentOnSingleNode(t *testing.T) {
+	s, ts := newTestServer(t, Config{}, nil)
+
+	resp := post(t, ts, simulateBody(t, ""))
+	payload := readAll(t, resp)
+	keyHex := resp.Header.Get("X-Result-Key")
+
+	r, err := http.Get(ts.URL + "/v1/peer/result/" + keyHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, r)
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("peer GET on a single node: %d, want 404 (route absent)", r.StatusCode)
+	}
+
+	// A well-formed fill under a fresh key must not land anywhere.
+	forgedKey := resultcache.KeyOf([]byte("single-node-forge"))
+	frame := resultcache.EncodeEntry(payload)
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/peer/result/"+forgedKey.String(), bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, pr)
+	if pr.StatusCode != http.StatusNotFound {
+		t.Fatalf("peer PUT on a single node: %d, want 404 (route absent)", pr.StatusCode)
+	}
+	if _, ok := s.cache.Get(forgedKey); ok {
+		t.Fatal("a single-node server accepted a peer fill")
 	}
 }

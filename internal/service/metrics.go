@@ -34,6 +34,7 @@ type metrics struct {
 	peerServeMisses   atomic.Uint64 // peer GETs answered 404
 	peerFills         atomic.Uint64 // peer PUTs verified and stored
 	peerFillsRejected atomic.Uint64 // peer PUTs rejected by verification
+	peerAuthRejected  atomic.Uint64 // peer requests without the ring token
 
 	queueDepth atomic.Int64 // runner pool queue gauge
 	active     atomic.Int64 // runner pool active-jobs gauge
@@ -163,6 +164,7 @@ func (s *Server) servePeerMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(w, "simd_peer_served_total{kind=\"get_miss\"} %d\n", m.peerServeMisses.Load())
 	fmt.Fprintf(w, "simd_peer_served_total{kind=\"fill\"} %d\n", m.peerFills.Load())
 	fmt.Fprintf(w, "simd_peer_served_total{kind=\"fill_rejected\"} %d\n", m.peerFillsRejected.Load())
+	fmt.Fprintf(w, "simd_peer_served_total{kind=\"auth_rejected\"} %d\n", m.peerAuthRejected.Load())
 
 	fmt.Fprintf(w, "# HELP simd_peer_breaker_state Per-peer circuit breaker state (0=closed, 1=open, 2=half-open).\n")
 	fmt.Fprintf(w, "# TYPE simd_peer_breaker_state gauge\n")

@@ -1,11 +1,14 @@
 package service
 
 import (
+	"crypto/subtle"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"perfstacks/internal/export"
 	"perfstacks/internal/resultcache"
@@ -14,6 +17,24 @@ import (
 // maxPeerEntryBytes bounds a peer fill body: the entry frame around a
 // result payload. Matches the cluster reader's cap.
 const maxPeerEntryBytes = 64 << 20
+
+// requirePeerAuth gates the cluster-internal endpoints behind the ring's
+// shared bearer token. The fill path must trust the sender's key↔payload
+// binding — the key derives from the canonical request config, which the
+// payload alone cannot reproduce, so the server cannot recompute it — and
+// that trust is only sound for authenticated ring members. Everything
+// else that can reach the port gets a 403 and a counter.
+func (s *Server) requirePeerAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(s.peerToken)) != 1 {
+			s.metrics.peerAuthRejected.Add(1)
+			writeError(w, http.StatusForbidden, errors.New("peer endpoint requires the ring's bearer token"))
+			return
+		}
+		h(w, r)
+	}
+}
 
 // parsePeerKey decodes the {key} path element (64 hex chars).
 func parsePeerKey(r *http.Request) (resultcache.Key, error) {
@@ -54,9 +75,11 @@ func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
 
 // handlePeerPut serves PUT /v1/peer/result/{key}: the cluster-internal
 // fill path, used by a non-owner that simulated a key this node owns. The
-// body re-verifies through the corrupted-entry path before a byte of it is
-// stored, and must decode as a versioned result — a corrupt or garbage
-// fill is rejected, never cached.
+// route is registered only on clustered nodes and sits behind
+// requirePeerAuth — the key↔payload binding is the authenticated sender's
+// responsibility. The body still re-verifies through the corrupted-entry
+// path before a byte of it is stored, and must decode as a versioned
+// result — a corrupt or garbage fill is rejected, never cached.
 func (s *Server) handlePeerPut(w http.ResponseWriter, r *http.Request) {
 	k, err := parsePeerKey(r)
 	if err != nil {

@@ -54,14 +54,15 @@ type Config struct {
 // of identical requests occupies one queue slot, so saturation sheds only
 // genuinely distinct work.
 type Server struct {
-	cache    *resultcache.Cache
-	group    *resultcache.Group
-	pool     *runner.Pool
-	cluster  *cluster.Cluster
-	traceDir string
-	metrics  *metrics
-	logf     func(format string, args ...any)
-	workers  int
+	cache     *resultcache.Cache
+	group     *resultcache.Group
+	pool      *runner.Pool
+	cluster   *cluster.Cluster
+	peerToken string // the ring's shared bearer token (set iff clustered)
+	traceDir  string
+	metrics   *metrics
+	logf      func(format string, args ...any)
+	workers   int
 
 	// runSim is the simulation entry point; tests swap it to count and
 	// block simulations without burning CPU. runSMP is its gang-request
@@ -104,6 +105,7 @@ func New(base context.Context, cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.cluster = cl
+		s.peerToken = cfg.Cluster.AuthToken
 	}
 	s.pool = runner.NewPool(runner.PoolOptions{
 		Workers:    cfg.Workers,
@@ -127,8 +129,14 @@ func (s *Server) Close() { s.pool.Close() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("GET /v1/peer/result/{key}", s.handlePeerGet)
-	mux.HandleFunc("PUT /v1/peer/result/{key}", s.handlePeerPut)
+	if s.cluster != nil {
+		// The peer-transfer surface exists only on ring members: a
+		// single-node simd must expose exactly the pre-cluster routes (no
+		// unauthenticated cache-write endpoint on a node that never asked
+		// to be clustered).
+		mux.HandleFunc("GET /v1/peer/result/{key}", s.requirePeerAuth(s.handlePeerGet))
+		mux.HandleFunc("PUT /v1/peer/result/{key}", s.requirePeerAuth(s.handlePeerPut))
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.serveMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -101,11 +101,12 @@ curl -fsS "http://$ADDR/healthz" >/dev/null
 
 echo "== cluster: two peered daemons, cross-peer cache hit"
 PEERS="http://$ADDR_A,http://$ADDR_B"
+PEER_TOKEN="smoke-ring-token"
 "$WORK/simd" -addr "$ADDR_A" -cache "$WORK/cache-a" \
-  -self "http://$ADDR_A" -peers "$PEERS" >"$WORK/simd-a.log" 2>&1 &
+  -self "http://$ADDR_A" -peers "$PEERS" -peer-token "$PEER_TOKEN" >"$WORK/simd-a.log" 2>&1 &
 PEER_A_PID=$!
 "$WORK/simd" -addr "$ADDR_B" -cache "$WORK/cache-b" \
-  -self "http://$ADDR_B" -peers "$PEERS" >"$WORK/simd-b.log" 2>&1 &
+  -self "http://$ADDR_B" -peers "$PEERS" -peer-token "$PEER_TOKEN" >"$WORK/simd-b.log" 2>&1 &
 PEER_B_PID=$!
 for NODE in "$ADDR_A" "$ADDR_B"; do
   for _ in $(seq 1 50); do
@@ -136,6 +137,15 @@ PEER_HITS="$(metric_at "$ADDR_B" 'simd_peer_fetch_total{outcome="hit"}')"
 [ "${PEER_HITS:-0}" -ge 1 ] || { echo "FAIL: node B peer fetch hits = ${PEER_HITS:-0}"; exit 1; }
 SERVED="$(metric_at "$ADDR_A" 'simd_peer_served_total{kind="get_hit"}')"
 [ "${SERVED:-0}" -ge 1 ] || { echo "FAIL: node A served ${SERVED:-0} peer gets"; exit 1; }
+
+echo "== cluster: peer surface is members-only"
+# A client without the ring token gets 403 from a ring node; the plain
+# single-node daemon has no peer routes at all (404).
+KEYB="$(grep -i '^X-Result-Key:' "$WORK/chb" | awk '{print $2}' | tr -d '\r')"
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR_A/v1/peer/result/$KEYB")"
+[ "$CODE" = 403 ] || { echo "FAIL: unauthenticated peer GET got $CODE, want 403"; exit 1; }
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/peer/result/$KEYB")"
+[ "$CODE" = 404 ] || { echo "FAIL: single-node peer GET got $CODE, want 404 (route absent)"; exit 1; }
 kill -TERM "$PEER_A_PID" "$PEER_B_PID"
 wait "$PEER_A_PID" "$PEER_B_PID" 2>/dev/null || true
 PEER_A_PID=""
