@@ -1,0 +1,175 @@
+// Command sensitivity runs a bottleneck sensitivity analysis: it perturbs
+// each tunable machine parameter around a baseline configuration (bounded
+// scaling plus the paper's idealized/infinite endpoints), simulates every
+// perturbed cell, and ranks the parameters by how much CPI their best
+// variant buys. Idealized endpoints are cross-checked against the
+// multi-stage CPI stack's predicted bounds.
+//
+// Repeats are cheap: with -cache, every cell is keyed content-addressed
+// and shared with simd, sweep and experiments, so a re-run (or an
+// overlapping plan) is mostly cache hits.
+//
+// Usage:
+//
+//	sensitivity -machine BDW -workload mcf -uops 300000 -warmup 200000
+//	sensitivity -params caches,bpred -variants 0.25,0.5,2,4
+//	sensitivity -format csv > scores.csv
+//	sensitivity -cells-csv cells.csv -cache ~/.cache/perfstacks
+//	sensitivity -list   # show the tunable parameters and exit
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/resultcache"
+	"perfstacks/internal/runner"
+	"perfstacks/internal/sensitivity"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/textplot"
+	"perfstacks/internal/workload"
+)
+
+func main() {
+	machine := flag.String("machine", "BDW", "baseline machine configuration (BDW, KNL or SKX)")
+	wl := flag.String("workload", "mcf", "SPEC-like workload profile")
+	uops := flag.Uint64("uops", 300_000, "measured uops per cell")
+	warm := flag.Uint64("warmup", 200_000, "warm-up uops per cell")
+	params := flag.String("params", "", "comma-separated parameter or group names (empty = all)")
+	variants := flag.String("variants", "", "comma-separated scale factors (empty = 0.5,2)")
+	noEndpoints := flag.Bool("no-endpoints", false, "skip the idealized/infinite endpoint cells")
+	par := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (shared with simd, sweep and experiments)")
+	format := flag.String("format", "text", "output format: text, json or csv (ranked scores)")
+	top := flag.Int("top", 0, "truncate the text ranking to the top N parameters (0 = all)")
+	cellsCSV := flag.String("cells-csv", "", "also write every cell measurement as CSV to this file")
+	progress := flag.Bool("progress", false, "report each completed cell on stderr")
+	list := flag.Bool("list", false, "list the tunable parameters and exit")
+	flag.Parse()
+
+	if *list {
+		tbl := textplot.NewTable("param", "group", "description")
+		for _, p := range sensitivity.Parameters() {
+			tbl.Rowf(p.Name, p.Group, p.Doc)
+		}
+		fmt.Print(tbl.String())
+		return
+	}
+
+	m, err := config.ByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	prof, ok := workload.SPECProfile(*wl)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload profile %q", *wl))
+	}
+	po := sensitivity.PlanOptions{NoEndpoints: *noEndpoints}
+	if *params != "" {
+		po.Params = splitTrim(*params)
+	}
+	for _, v := range splitTrim(*variants) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad variant %q: %v", v, err))
+		}
+		po.Variants = append(po.Variants, f)
+	}
+	plan, err := sensitivity.NewPlan(m, prof, *warm+*uops, sim.Options{WarmupUops: *warm}, po)
+	if err != nil {
+		fatal(err)
+	}
+
+	var cache *resultcache.Cache
+	if *cacheDir != "" {
+		disk, err := resultcache.NewDisk(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cache = resultcache.New(resultcache.NewMemory(64<<20), disk)
+	}
+
+	// SIGINT/SIGTERM cancel the fan-out cooperatively: in-flight cells stop
+	// at their next poll and the plan reports cancellation instead of a
+	// partial (hence untrustworthy) ranking. Cells already simulated are in
+	// the cache, so a rerun picks up where this one stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	pool := runner.NewPool(runner.PoolOptions{Workers: *par})
+	defer pool.Close()
+	orch := &sensitivity.Orchestrator{
+		Run:         sensitivity.LocalRunner(pool, cache),
+		Concurrency: *par,
+	}
+	if *progress {
+		orch.OnCell = func(p sensitivity.Progress) {
+			label := p.Cell.Variant
+			if p.Cell.Param != "" {
+				label = p.Cell.Param + "/" + p.Cell.Variant
+			}
+			fmt.Fprintf(os.Stderr, "sensitivity: [%d/%d] %-28s CPI %.4f (%s)\n",
+				p.Done, p.Total, label, p.CPI, p.Source)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sensitivity: %d cells (%s on %s, %d+%d uops each)\n",
+		len(plan.Cells), prof.Name, m.Name, *warm, *uops)
+	rep, err := orch.Execute(ctx, plan)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *cellsCSV != "" {
+		f, err := os.Create(*cellsCSV)
+		if err != nil {
+			fatal(err)
+		}
+		werr := rep.WriteCellsCSV(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+	}
+
+	switch *format {
+	case "text":
+		fmt.Print(rep.RenderText(*top))
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	case "csv":
+		if err := rep.WriteScoresCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text, json or csv)", *format))
+	}
+}
+
+func splitTrim(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sensitivity:", err)
+	os.Exit(1)
+}

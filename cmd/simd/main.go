@@ -21,6 +21,9 @@
 // Endpoints:
 //
 //	POST /v1/simulate          run (or fetch) a simulation; see internal/service
+//	POST /v1/sensitivity       fan out a perturbation plan to a ranked
+//	                           sensitivity report (?stream=1 for NDJSON
+//	                           progress); see internal/sensitivity
 //	GET  /v1/peer/result/{key} ring members only: serve a cached entry to a peer
 //	PUT  /v1/peer/result/{key} ring members only: accept a verified fill
 //	GET  /healthz              liveness
@@ -60,6 +63,7 @@ func main() {
 	queue := flag.Int("queue", 0, "admission queue depth beyond running jobs (0 = one per worker)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-simulation timeout (0 = unbounded)")
 	traces := flag.String("traces", "", "directory served for trace_path requests (empty = generator workloads only)")
+	plans := flag.Int("plans", 0, "concurrent sensitivity plans admitted (0 = 2); further plans are shed with 429")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget before in-flight requests are dropped")
 	peers := flag.String("peers", "", "comma-separated base URLs of every ring member including this node (empty = single-node)")
 	self := flag.String("self", "", "this node's own base URL within -peers (required with -peers)")
@@ -78,6 +82,7 @@ func main() {
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		JobTimeout:    *timeout,
+		MaxPlans:      *plans,
 		TraceDir:      *traces,
 		Log:           logger,
 	}

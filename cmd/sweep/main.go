@@ -33,6 +33,7 @@ import (
 	"perfstacks/internal/export"
 	"perfstacks/internal/resultcache"
 	"perfstacks/internal/runner"
+	"perfstacks/internal/sensitivity"
 	"perfstacks/internal/sim"
 	"perfstacks/internal/trace"
 	"perfstacks/internal/workload"
@@ -47,6 +48,7 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "persist each completed run as a JSONL line in this file")
 	resume := flag.Bool("resume", false, "reload -checkpoint and skip already-completed runs")
 	cacheDir := flag.String("cache", "", "content-addressed result cache directory (shared with simd and experiments)")
+	idealize := flag.Bool("idealize", false, "also sweep each machine's four idealized endpoints (perfect bpred/icache/dcache, single-cycle ALU)")
 	flag.Parse()
 
 	if *resume && *ckptPath == "" {
@@ -73,13 +75,26 @@ func main() {
 
 	profs := workload.SPECProfiles()
 	type job struct {
-		m    config.Machine
-		prof workload.Profile
+		m     config.Machine
+		label string // machine column: the name plus any idealization suffix
+		prof  workload.Profile
 	}
 	var jobs []job
 	for _, m := range ms {
-		for _, p := range profs {
-			jobs = append(jobs, job{m, p})
+		// The machine's Name stays untouched across variants so every job's
+		// cache key derives from the canonical (possibly idealized) machine
+		// encoding — the same keys sensitivity's endpoint cells use.
+		variants := []job{{m: m, label: m.Name}}
+		if *idealize {
+			for _, comp := range sensitivity.IdealComponents() {
+				id := sensitivity.IdealizeFor(comp)
+				variants = append(variants, job{m: m.Apply(id), label: m.Name + "+" + id.String()})
+			}
+		}
+		for _, v := range variants {
+			for _, p := range profs {
+				jobs = append(jobs, job{v.m, v.label, p})
+			}
 		}
 	}
 
@@ -118,7 +133,7 @@ func main() {
 	report := runner.RunTimedOpts(ctx, runner.Options{Workers: max(1, *par)}, len(jobs),
 		func(jctx context.Context, i int) (string, uint64, error) {
 			j := jobs[i]
-			label := j.prof.Name + "/" + j.m.Name
+			label := j.prof.Name + "/" + j.label
 			if ckpt != nil {
 				if e, ok := ckpt.Lookup(i); ok {
 					var row export.LabeledStacks
@@ -144,7 +159,7 @@ func main() {
 			}
 			rows[i] = export.LabeledStacks{
 				Workload: j.prof.Name,
-				Machine:  j.m.Name,
+				Machine:  j.label,
 				Stacks:   res.Stacks,
 			}
 			completed[i] = true
@@ -199,8 +214,8 @@ func main() {
 	if err := export.StacksToCSV(os.Stdout, rows); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "sweep: %d runs (%d workloads x %d machines) in %.1fs, %.0f uops/s aggregate\n",
-		len(jobs), len(profs), len(ms), report.WallSeconds, report.UopsPerSec)
+	fmt.Fprintf(os.Stderr, "sweep: %d runs (%d workloads x %d machine variants) in %.1fs, %.0f uops/s aggregate\n",
+		len(jobs), len(profs), len(jobs)/len(profs), report.WallSeconds, report.UopsPerSec)
 }
 
 func fatal(err error) {

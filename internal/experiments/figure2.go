@@ -6,6 +6,7 @@ import (
 
 	"perfstacks/internal/config"
 	"perfstacks/internal/core"
+	"perfstacks/internal/sensitivity"
 	"perfstacks/internal/sim"
 	"perfstacks/internal/stats"
 	"perfstacks/internal/textplot"
@@ -49,22 +50,6 @@ type Figure2Result struct {
 	KNL Figure2Machine
 }
 
-// idealizeFor maps a component to the idealization that removes it.
-func idealizeFor(c core.Component) config.Idealize {
-	//simlint:partial only the four components Figure 2 idealizes have a machine knob; the rest map to the identity config
-	switch c {
-	case core.CompICache:
-		return config.Idealize{PerfectICache: true}
-	case core.CompDCache:
-		return config.Idealize{PerfectDCache: true}
-	case core.CompBpred:
-		return config.Idealize{PerfectBpred: true}
-	case core.CompALULat:
-		return config.Idealize{SingleCycleALU: true}
-	}
-	return config.Idealize{}
-}
-
 // benchObservation is one benchmark's measurement on one machine.
 type benchObservation struct {
 	name   string
@@ -92,7 +77,7 @@ func figure2Machine(spec RunSpec, m config.Machine) []benchObservation {
 		j := jobs[i]
 		mm := m
 		if j.run > 0 {
-			mm = m.Apply(idealizeFor(figure2Components[j.run-1]))
+			mm = m.Apply(sensitivity.IdealizeFor(figure2Components[j.run-1]))
 		}
 		r := runSPEC(spec, mm, profs[j.bench], sim.Default())
 		cpis[i] = r.CPIOf()

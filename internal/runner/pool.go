@@ -57,6 +57,13 @@ type Pool struct {
 	tasks chan *poolTask
 	wg    sync.WaitGroup
 
+	// closing is closed by Close before tasks is: SubmitWait callers blocked
+	// on a full queue abort on it instead of racing a send against the
+	// channel close. senders counts SubmitWait callers between registration
+	// and select completion so Close can wait them out.
+	closing chan struct{}
+	senders sync.WaitGroup
+
 	mu     sync.Mutex
 	closed bool
 	queued int
@@ -76,7 +83,7 @@ func NewPool(opts PoolOptions) *Pool {
 	if depth <= 0 {
 		depth = workers
 	}
-	p := &Pool{opts: opts, tasks: make(chan *poolTask, depth)}
+	p := &Pool{opts: opts, tasks: make(chan *poolTask, depth), closing: make(chan struct{})}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -113,7 +120,56 @@ func (p *Pool) Submit(ctx context.Context, job func(ctx context.Context) error) 
 	}
 }
 
-// Queued returns the number of admitted jobs not yet running.
+// SubmitWait is the blocking counterpart of Submit: instead of shedding with
+// ErrSaturated when the queue is full, it waits for a slot until ctx is done
+// (returning ctx's error) or the pool closes (ErrPoolClosed). It exists for
+// cooperating fan-out callers — the cells of one admitted sensitivity plan —
+// whose burst should queue behind the running work rather than trip the
+// admission control meant to referee independent clients.
+func (p *Pool) SubmitWait(ctx context.Context, job func(ctx context.Context) error) (<-chan error, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t := &poolTask{ctx: ctx, job: job, done: make(chan error, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	p.senders.Add(1)
+	// Count the waiter in the queue gauge up front (a worker may dequeue the
+	// task the instant the send lands, and its decrement must never observe
+	// a count this path has yet to add).
+	p.queued++
+	n := p.queued
+	p.mu.Unlock()
+	p.gaugeQueued(n)
+	defer p.senders.Done()
+	select {
+	case p.tasks <- t:
+		return t.done, nil
+	case <-ctx.Done():
+		p.unqueue()
+		return nil, ctx.Err()
+	case <-p.closing:
+		p.unqueue()
+		return nil, ErrPoolClosed
+	}
+}
+
+// unqueue reverses the optimistic queued++ of a SubmitWait that aborted
+// before its task entered the channel.
+func (p *Pool) unqueue() {
+	p.mu.Lock()
+	p.queued--
+	n := p.queued
+	p.mu.Unlock()
+	p.gaugeQueued(n)
+}
+
+// Queued returns the number of jobs waiting to run: admitted jobs not yet
+// picked up by a worker, plus SubmitWait callers still waiting for a queue
+// slot.
 func (p *Pool) Queued() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -139,6 +195,11 @@ func (p *Pool) Close() {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	// Flush blocked SubmitWait callers before closing the task channel: a
+	// sender still in its select must take the closing arm (or win the send
+	// race, which is fine — the task is then in the channel before close).
+	close(p.closing)
+	p.senders.Wait()
 	close(p.tasks)
 	p.wg.Wait()
 }

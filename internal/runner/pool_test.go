@@ -224,3 +224,138 @@ func TestPoolInstrumentation(t *testing.T) {
 		t.Fatalf("active exceeded worker count: %d", maxActive)
 	}
 }
+
+func TestSubmitWaitBlocksUntilSlotFrees(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 1})
+	defer p.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	ch1, err := p.Submit(context.Background(), func(ctx context.Context) error {
+		close(started)
+		<-block
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ch2, err := p.Submit(context.Background(), func(ctx context.Context) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue full: Submit sheds, SubmitWait must wait and then run.
+	if _, err := p.Submit(context.Background(), func(ctx context.Context) error { return nil }); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("Submit on full queue: got %v, want ErrSaturated", err)
+	}
+	waited := make(chan error, 1)
+	go func() {
+		ch3, err := p.SubmitWait(context.Background(), func(ctx context.Context) error { return nil })
+		if err != nil {
+			waited <- err
+			return
+		}
+		waited <- <-ch3
+	}()
+	select {
+	case err := <-waited:
+		t.Fatalf("SubmitWait returned %v before a slot freed", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(block)
+	if err := <-waited; err != nil {
+		t.Fatalf("SubmitWait job: %v", err)
+	}
+	if err := <-ch1; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ch2; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmitWaitCanceledWhileWaiting(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 1})
+	defer p.Close()
+
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{})
+	if _, err := p.Submit(context.Background(), func(ctx context.Context) error {
+		close(started)
+		<-block
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := p.Submit(context.Background(), func(ctx context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.SubmitWait(ctx, func(ctx context.Context) error { return nil })
+		errc <- err
+	}()
+	// Give the waiter time to block, then abandon it.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// The aborted waiter must not leave a phantom entry in the queue gauge.
+	for i := 0; i < 100; i++ {
+		if p.Queued() == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if q := p.Queued(); q != 1 {
+		t.Fatalf("Queued = %d after aborted SubmitWait, want 1", q)
+	}
+}
+
+func TestSubmitWaitPoolClosed(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 1})
+	p.Close()
+	if _, err := p.SubmitWait(context.Background(), func(ctx context.Context) error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("got %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestSubmitWaitCloseWhileWaiting(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 1})
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := p.Submit(context.Background(), func(ctx context.Context) error {
+		close(started)
+		<-block
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := p.Submit(context.Background(), func(ctx context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.SubmitWait(context.Background(), func(ctx context.Context) error { return nil })
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Close must flush the blocked waiter with ErrPoolClosed, not deadlock
+	// or panic on a send to a closed channel.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(block)
+	}()
+	p.Close()
+	if err := <-errc; !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("got %v, want ErrPoolClosed", err)
+	}
+}

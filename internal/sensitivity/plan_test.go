@@ -1,0 +1,154 @@
+package sensitivity
+
+import (
+	"errors"
+	"testing"
+
+	"perfstacks/internal/config"
+	"perfstacks/internal/core"
+	"perfstacks/internal/sim"
+	"perfstacks/internal/workload"
+)
+
+func mustProfile(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	prof, ok := workload.SPECProfile(name)
+	if !ok {
+		t.Fatalf("unknown profile %q", name)
+	}
+	return prof
+}
+
+func TestPlanGeneration(t *testing.T) {
+	p, err := NewPlan(config.BDW(), mustProfile(t, "mcf"), 10_000, sim.Options{}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cells[0].Kind != KindBaseline {
+		t.Fatalf("Cells[0] is %q, want baseline", p.Cells[0].Kind)
+	}
+	if !p.Opts.CPI {
+		t.Fatal("NewPlan must force CPI accounting on")
+	}
+	// Every cell is a valid, distinct-from-baseline configuration.
+	baseBytes, err := sim.CanonicalMachine(p.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perParam := make(map[string]map[string]bool)
+	ideals := make(map[core.Component]bool)
+	for i, c := range p.Cells[1:] {
+		if err := c.Machine.Validate(); err != nil {
+			t.Fatalf("cell %d (%s/%s) invalid: %v", i+1, c.Param, c.Variant, err)
+		}
+		mb, err := sim.CanonicalMachine(c.Machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(mb) == string(baseBytes) {
+			t.Fatalf("cell %s/%s is the baseline in disguise", c.Param, c.Variant)
+		}
+		if perParam[c.Param] == nil {
+			perParam[c.Param] = make(map[string]bool)
+		}
+		if perParam[c.Param][string(mb)] {
+			t.Fatalf("cell %s/%s duplicates another variant of the same parameter", c.Param, c.Variant)
+		}
+		perParam[c.Param][string(mb)] = true
+		if c.Kind == KindIdeal {
+			ideals[c.Component] = true
+		}
+	}
+	for _, comp := range IdealComponents() {
+		if !ideals[comp] {
+			t.Errorf("no idealized endpoint cell for component %s", comp)
+		}
+	}
+	// Every registry parameter contributes at least one cell on BDW.
+	for _, par := range Parameters() {
+		if len(perParam[par.Name]) == 0 {
+			t.Errorf("parameter %s generated no cells", par.Name)
+		}
+	}
+}
+
+func TestPlanParamSelection(t *testing.T) {
+	p, err := NewPlan(config.BDW(), mustProfile(t, "mcf"), 10_000, sim.Options{}, PlanOptions{Params: []string{"bpred"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Cells[1:] {
+		if c.Param != "bpred_size" && c.Param != "mispredict_penalty" {
+			t.Fatalf("group filter leaked parameter %q", c.Param)
+		}
+	}
+	if _, err := NewPlan(config.BDW(), mustProfile(t, "mcf"), 10_000, sim.Options{}, PlanOptions{Params: []string{"warp_drive"}}); !errors.Is(err, sim.ErrBadValue) {
+		t.Fatalf("unknown parameter: got %v, want ErrBadValue", err)
+	}
+}
+
+func TestPlanVariantValidation(t *testing.T) {
+	for _, bad := range [][]float64{{0}, {-2}, {1}, {65}, {2, 2}, {0.5, 2, 4, 8, 16, 32, 0.25, 0.125, 0.0625}} {
+		if _, err := NewPlan(config.BDW(), mustProfile(t, "mcf"), 10_000, sim.Options{}, PlanOptions{Variants: bad}); !errors.Is(err, sim.ErrBadValue) {
+			t.Errorf("variants %v: got %v, want ErrBadValue", bad, err)
+		}
+	}
+	if _, err := NewPlan(config.BDW(), mustProfile(t, "mcf"), 0, sim.Options{}, PlanOptions{}); !errors.Is(err, sim.ErrBadValue) {
+		t.Error("uops=0 must be rejected")
+	}
+}
+
+func TestPlanNoEndpoints(t *testing.T) {
+	p, err := NewPlan(config.BDW(), mustProfile(t, "mcf"), 10_000, sim.Options{}, PlanOptions{NoEndpoints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Cells[1:] {
+		if c.Kind != KindScale {
+			t.Fatalf("NoEndpoints left a %s cell (%s/%s)", c.Kind, c.Param, c.Variant)
+		}
+	}
+}
+
+func TestPlanKeyBindsContents(t *testing.T) {
+	mk := func(po PlanOptions, uops uint64) [32]byte {
+		t.Helper()
+		p, err := NewPlan(config.BDW(), mustProfile(t, "mcf"), uops, sim.Options{}, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := p.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	a := mk(PlanOptions{Params: []string{"bpred"}}, 10_000)
+	b := mk(PlanOptions{Params: []string{"bpred"}}, 10_000)
+	if a != b {
+		t.Fatal("identical plans derived different keys")
+	}
+	if a == mk(PlanOptions{Params: []string{"bpred"}}, 20_000) {
+		t.Fatal("trace length did not change the plan key")
+	}
+	if a == mk(PlanOptions{Params: []string{"bpred"}, Variants: []float64{0.25, 4}}, 10_000) {
+		t.Fatal("variant set did not change the plan key")
+	}
+	if a == mk(PlanOptions{Params: []string{"caches"}}, 10_000) {
+		t.Fatal("parameter set did not change the plan key")
+	}
+}
+
+func TestPlanHundredCells(t *testing.T) {
+	p, err := NewPlan(config.BDW(), mustProfile(t, "mcf"), 10_000, sim.Options{},
+		PlanOptions{Variants: []float64{0.25, 0.5, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cells) < 100 {
+		t.Fatalf("extended plan has %d cells, want >= 100", len(p.Cells))
+	}
+	if len(p.Cells) > MaxCells {
+		t.Fatalf("extended plan has %d cells, above MaxCells=%d", len(p.Cells), MaxCells)
+	}
+}

@@ -14,6 +14,11 @@ import (
 // spanning sub-millisecond cache hits to multi-second cold simulations.
 var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
 
+// planBuckets are the sensitivity-plan wall-time histogram bounds in
+// seconds: a plan is hundreds of simulations, so the range is shifted well
+// past the per-request buckets.
+var planBuckets = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120}
+
 // metrics holds the server's counters and gauges. Counters are atomics
 // updated on the request path; the one map (status codes) takes a mutex
 // because codes are few and writes are per-request, not per-cycle.
@@ -30,6 +35,18 @@ type metrics struct {
 	canceled  atomic.Uint64 // requests abandoned by the client
 	coalesced atomic.Uint64 // requests served by another request's flight
 
+	plansStarted    atomic.Uint64 // sensitivity plans admitted to a slot
+	plansCompleted  atomic.Uint64 // plans that produced a report
+	plansFailed     atomic.Uint64 // plans that errored or were canceled
+	planReportHits  atomic.Uint64 // plans served whole from the report cache
+	cellsSim        atomic.Uint64 // plan cells that simulated locally
+	cellsCache      atomic.Uint64 // plan cells served from the result cache
+	cellsPeer       atomic.Uint64 // plan cells served by a ring peer
+	cellsCoalesced  atomic.Uint64 // plan cells that rode another flight
+	planBucketSlots []atomic.Uint64
+	planSum         atomic.Uint64 // microseconds
+	planCount       atomic.Uint64
+
 	peerServes        atomic.Uint64 // peer GETs served from the local cache
 	peerServeMisses   atomic.Uint64 // peer GETs answered 404
 	peerFills         atomic.Uint64 // peer PUTs verified and stored
@@ -43,8 +60,9 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		codes:        make(map[int]uint64),
-		bucketCounts: make([]atomic.Uint64, len(latencyBuckets)+1),
+		codes:           make(map[int]uint64),
+		bucketCounts:    make([]atomic.Uint64, len(latencyBuckets)+1),
+		planBucketSlots: make([]atomic.Uint64, len(planBuckets)+1),
 	}
 }
 
@@ -58,6 +76,39 @@ func (m *metrics) observe(code int, wall time.Duration) {
 	m.bucketCounts[i].Add(1)
 	m.latencySum.Add(uint64(wall.Microseconds()))
 	m.latencyCount.Add(1)
+}
+
+// observePlan records one completed sensitivity plan's wall time.
+func (m *metrics) observePlan(wall time.Duration) {
+	s := wall.Seconds()
+	i := sort.SearchFloat64s(planBuckets, s)
+	m.planBucketSlots[i].Add(1)
+	m.planSum.Add(uint64(wall.Microseconds()))
+	m.planCount.Add(1)
+}
+
+// cellSource tallies one plan cell by where its result came from. The
+// source strings are the sensitivity.Source* constants; an unknown string
+// counts as a simulation (the conservative reading).
+func (m *metrics) cellSource(source string) {
+	switch source {
+	case "cache":
+		m.cellsCache.Add(1)
+	case "peer":
+		m.cellsPeer.Add(1)
+	case "coalesced":
+		m.cellsCoalesced.Add(1)
+	default:
+		m.cellsSim.Add(1)
+	}
+}
+
+// sensitivityActive reports whether any sensitivity request ever touched
+// this process. The /metrics section is gated on it so a node that never
+// served a plan stays byte-compatible with the pre-sensitivity exposition.
+func (m *metrics) sensitivityActive() bool {
+	return m.plansStarted.Load()|m.planReportHits.Load()|
+		m.plansFailed.Load()|m.plansCompleted.Load() != 0
 }
 
 // ServeHTTP renders the Prometheus text exposition format (version 0.0.4)
@@ -119,6 +170,9 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE simd_coalesced_total counter\n")
 	fmt.Fprintf(w, "simd_coalesced_total %d\n", m.coalesced.Load())
 
+	if m.sensitivityActive() {
+		s.serveSensitivityMetrics(w)
+	}
 	if s.cluster != nil {
 		s.servePeerMetrics(w)
 	}
@@ -134,6 +188,38 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE simd_inflight_keys gauge\n")
 		fmt.Fprintf(w, "simd_inflight_keys %d\n", m.inflight())
 	}
+}
+
+// serveSensitivityMetrics renders the sensitivity section: plan lifecycle
+// counters, per-source cell counters, and the plan wall-time histogram.
+// Only emitted once a sensitivity request has touched this process, so a
+// node that never serves one stays byte-compatible with the prior
+// exposition.
+func (s *Server) serveSensitivityMetrics(w http.ResponseWriter) {
+	m := s.metrics
+	fmt.Fprintf(w, "# HELP simd_sensitivity_plans_total Sensitivity plans, by lifecycle event.\n")
+	fmt.Fprintf(w, "# TYPE simd_sensitivity_plans_total counter\n")
+	fmt.Fprintf(w, "simd_sensitivity_plans_total{event=\"started\"} %d\n", m.plansStarted.Load())
+	fmt.Fprintf(w, "simd_sensitivity_plans_total{event=\"completed\"} %d\n", m.plansCompleted.Load())
+	fmt.Fprintf(w, "simd_sensitivity_plans_total{event=\"failed\"} %d\n", m.plansFailed.Load())
+	fmt.Fprintf(w, "simd_sensitivity_plans_total{event=\"report_cache_hit\"} %d\n", m.planReportHits.Load())
+	fmt.Fprintf(w, "# HELP simd_sensitivity_cells_total Plan cells satisfied, by result source.\n")
+	fmt.Fprintf(w, "# TYPE simd_sensitivity_cells_total counter\n")
+	fmt.Fprintf(w, "simd_sensitivity_cells_total{source=\"sim\"} %d\n", m.cellsSim.Load())
+	fmt.Fprintf(w, "simd_sensitivity_cells_total{source=\"cache\"} %d\n", m.cellsCache.Load())
+	fmt.Fprintf(w, "simd_sensitivity_cells_total{source=\"peer\"} %d\n", m.cellsPeer.Load())
+	fmt.Fprintf(w, "simd_sensitivity_cells_total{source=\"coalesced\"} %d\n", m.cellsCoalesced.Load())
+	fmt.Fprintf(w, "# HELP simd_sensitivity_plan_seconds Completed-plan wall time.\n")
+	fmt.Fprintf(w, "# TYPE simd_sensitivity_plan_seconds histogram\n")
+	cum := uint64(0)
+	for i, le := range planBuckets {
+		cum += m.planBucketSlots[i].Load()
+		fmt.Fprintf(w, "simd_sensitivity_plan_seconds_bucket{le=%q} %d\n", strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	cum += m.planBucketSlots[len(planBuckets)].Load()
+	fmt.Fprintf(w, "simd_sensitivity_plan_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "simd_sensitivity_plan_seconds_sum %g\n", float64(m.planSum.Load())/1e6)
+	fmt.Fprintf(w, "simd_sensitivity_plan_seconds_count %d\n", m.planCount.Load())
 }
 
 // servePeerMetrics renders the cluster section: ladder outcomes, the

@@ -117,6 +117,11 @@ type plan struct {
 	// Written inside the flight, read by the leader after the flight's
 	// done channel closes.
 	via string
+	// wait admits the job with SubmitWait (block for a pool slot) instead
+	// of Submit (shed when saturated). Sensitivity plan cells set it: plan
+	// admission already happened at the plan level, so a cell queues
+	// politely rather than failing the plan halfway.
+	wait bool
 }
 
 // parseRequest decodes and strictly validates a request body. All errors

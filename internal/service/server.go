@@ -33,6 +33,10 @@ type Config struct {
 	QueueDepth int
 	// JobTimeout bounds each simulation (0 = unbounded).
 	JobTimeout time.Duration
+	// MaxPlans bounds concurrent sensitivity plans (<= 0 means 2). A plan
+	// is hundreds of simulations, so its admission is bounded separately
+	// from — and more tightly than — the per-simulation queue.
+	MaxPlans int
 	// TraceDir roots trace_path lookups ("" disables file traces).
 	TraceDir string
 	// Cluster, when non-nil, joins this node to a consistent-hash ring of
@@ -57,6 +61,7 @@ type Server struct {
 	cache     *resultcache.Cache
 	group     *resultcache.Group
 	pool      *runner.Pool
+	planSem   chan struct{} // sensitivity plan admission slots
 	cluster   *cluster.Cluster
 	peerToken string // the ring's shared bearer token (set iff clustered)
 	traceDir  string
@@ -99,6 +104,11 @@ func New(base context.Context, cfg Config) (*Server, error) {
 		runSim:   sim.Run,
 		runSMP:   sim.RunSMP,
 	}
+	maxPlans := cfg.MaxPlans
+	if maxPlans <= 0 {
+		maxPlans = 2
+	}
+	s.planSem = make(chan struct{}, maxPlans)
 	if cfg.Cluster != nil {
 		cl, err := cluster.New(*cfg.Cluster)
 		if err != nil {
@@ -129,6 +139,7 @@ func (s *Server) Close() { s.pool.Close() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sensitivity", s.handleSensitivity)
 	if s.cluster != nil {
 		// The peer-transfer surface exists only on ring members: a
 		// single-node simd must expose exactly the pre-cluster routes (no
@@ -253,7 +264,7 @@ func (s *Server) produce(ctx context.Context, p *plan) ([]byte, error) {
 		}
 	}
 	var payload []byte
-	done, err := s.pool.Submit(ctx, func(jctx context.Context) error {
+	job := func(jctx context.Context) error {
 		opts := p.opts
 		opts.Context = jctx
 		s.metrics.sims.Add(1)
@@ -281,7 +292,14 @@ func (s *Server) produce(ctx context.Context, p *plan) ([]byte, error) {
 		}
 		payload = enc
 		return nil
-	})
+	}
+	var done <-chan error
+	var err error
+	if p.wait {
+		done, err = s.pool.SubmitWait(ctx, job)
+	} else {
+		done, err = s.pool.Submit(ctx, job)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -248,3 +248,51 @@ func (bp *BoxPlot) String() string {
 	}
 	return b.String()
 }
+
+// Tornado renders a two-sided horizontal bar chart around a zero axis: per
+// row, lefts[i] extends leftward (conventionally the benefit of improving a
+// parameter) and rights[i] extends rightward (the cost of degrading it),
+// both scaled to the largest magnitude on either side. Negative values clamp
+// to zero-length bars (a parameter whose every perturbation hurts has no
+// gain to draw); the numeric columns keep the signed values. width is the
+// rune budget per side.
+func Tornado(names []string, lefts, rights []float64, width int) string {
+	if width <= 0 || len(names) == 0 {
+		return ""
+	}
+	max := 0.0
+	for i := range names {
+		if lefts[i] > max {
+			max = lefts[i]
+		}
+		if rights[i] > max {
+			max = rights[i]
+		}
+	}
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	side := func(v float64) int {
+		if v <= 0 || max <= 0 {
+			return 0
+		}
+		n := int(v/max*float64(width) + 0.5)
+		if n > width {
+			n = width
+		}
+		return n
+	}
+	var b strings.Builder
+	for i, name := range names {
+		l, r := side(lefts[i]), side(rights[i])
+		fmt.Fprintf(&b, "%-*s %8.4f %s%s|%s%s %-8.4f\n",
+			nameW, name, lefts[i],
+			strings.Repeat(" ", width-l), strings.Repeat("<", l),
+			strings.Repeat(">", r), strings.Repeat(" ", width-r),
+			rights[i])
+	}
+	return b.String()
+}

@@ -105,3 +105,31 @@ func TestBoxPlotDegenerateRange(t *testing.T) {
 		t.Fatal("flat distribution should still render")
 	}
 }
+
+func TestTornado(t *testing.T) {
+	out := Tornado([]string{"rob_size", "l1d_size", "noop"}, []float64{0.4, 0.1, -0.05}, []float64{0.2, 0.4, 0}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	// rob_size has the largest gain: a full-width left bar.
+	if !strings.Contains(lines[0], strings.Repeat("<", 10)+"|") {
+		t.Errorf("rob_size row missing full left bar: %q", lines[0])
+	}
+	// l1d_size has the largest loss: a full-width right bar.
+	if !strings.Contains(lines[1], "|"+strings.Repeat(">", 10)) {
+		t.Errorf("l1d_size row missing full right bar: %q", lines[1])
+	}
+	// Negative gain clamps to an empty bar but keeps the signed number.
+	if strings.Contains(lines[2], "<") || !strings.Contains(lines[2], "-0.05") {
+		t.Errorf("negative-gain row wrong: %q", lines[2])
+	}
+	for _, ln := range lines {
+		if !strings.Contains(ln, "|") {
+			t.Errorf("row missing axis: %q", ln)
+		}
+	}
+	if Tornado(nil, nil, nil, 10) != "" {
+		t.Error("empty input should render nothing")
+	}
+}

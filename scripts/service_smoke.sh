@@ -9,7 +9,10 @@
 #      exactly one additional simulation)
 #   4. an invalid request (typed 400, no simulation)
 #   5. a client-cancelled request (sim starts, client disconnects)
-#   6. two live daemons peered over the consistent-hash ring: a result
+#   6. a sensitivity plan (POST /v1/sensitivity): fan-out to a ranked
+#      report, an identical re-post served whole from the report cache, and
+#      a recompute re-post satisfied >=95% from the per-cell tier
+#   7. two live daemons peered over the consistent-hash ring: a result
 #      simulated on one node is served by the other with X-Cache: peer and
 #      zero additional simulations
 # and asserts the /metrics counters account for exactly what happened.
@@ -97,6 +100,32 @@ for _ in $(seq 1 50); do
   sleep 0.2
 done
 expect_metric simd_canceled_total 1
+curl -fsS "http://$ADDR/healthz" >/dev/null
+
+echo "== sensitivity: plan fan-out, ranked report"
+SBODY='{"machine":"BDW","workload":{"profile":"mcf","uops":8000},"params":["bpred"],"variants":[0.5,2]}'
+curl -fsS -X POST "http://$ADDR/v1/sensitivity" -d "$SBODY" -D "$WORK/sh1" -o "$WORK/s1"
+grep -qi '^X-Cache: miss' "$WORK/sh1" || { echo "FAIL: first plan was not a miss"; exit 1; }
+grep -q '"version":"sensitivity-report-v1"' "$WORK/s1" || { echo "FAIL: no versioned report"; exit 1; }
+grep -q '"component":"Bpred"' "$WORK/s1" || { echo "FAIL: report lacks the Bpred bound cross-check"; exit 1; }
+
+echo "== sensitivity: identical re-post (report cache hit, byte-identical)"
+curl -fsS -X POST "http://$ADDR/v1/sensitivity" -d "$SBODY" -D "$WORK/sh2" -o "$WORK/s2"
+grep -qi '^X-Cache: hit' "$WORK/sh2" || { echo "FAIL: plan re-post was not a report-cache hit"; exit 1; }
+cmp -s "$WORK/s1" "$WORK/s2" || { echo "FAIL: report-cache hit body differs"; exit 1; }
+
+echo "== sensitivity: recompute re-post (>=95% cells from the cell cache)"
+RBODY='{"machine":"BDW","workload":{"profile":"mcf","uops":8000},"params":["bpred"],"variants":[0.5,2],"recompute":true}'
+curl -fsS -X POST "http://$ADDR/v1/sensitivity" -d "$RBODY" -D "$WORK/sh3" -o "$WORK/s3"
+grep -qi '^X-Cache: miss' "$WORK/sh3" || { echo "FAIL: recompute did not bypass the report cache"; exit 1; }
+read -r SCELLS SSIM SCACHE <<<"$(sed -n 's/.*"summary":{"cells":\([0-9]*\),"simulated":\([0-9]*\),"from_cache":\([0-9]*\).*/\1 \2 \3/p' "$WORK/s3")"
+[ -n "${SCELLS:-}" ] || { echo "FAIL: recompute report has no summary"; cat "$WORK/s3"; exit 1; }
+if [ $(( SCACHE * 100 )) -lt $(( 95 * SCELLS )) ]; then
+  echo "FAIL: recompute served $SCACHE of $SCELLS cells from cache, want >= 95%"
+  exit 1
+fi
+expect_metric 'simd_sensitivity_plans_total{event="completed"}' 2
+expect_metric 'simd_sensitivity_plans_total{event="report_cache_hit"}' 1
 curl -fsS "http://$ADDR/healthz" >/dev/null
 
 echo "== cluster: two peered daemons, cross-peer cache hit"
